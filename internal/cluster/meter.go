@@ -1,0 +1,157 @@
+package cluster
+
+import "fmt"
+
+// TrafficClass labels metered network traffic by purpose, matching the
+// flows in a PowerGraph synchronous GAS cycle.
+type TrafficClass int
+
+const (
+	// TrafficGather is mirror→master accumulator traffic.
+	TrafficGather TrafficClass = iota
+	// TrafficSync is master→mirror vertex-state synchronization, the
+	// traffic class the paper's ps knob thins out.
+	TrafficSync
+	// TrafficSignal is scatter-phase messages/signals to destination
+	// vertex masters.
+	TrafficSignal
+	// TrafficControl is barrier and activation control traffic.
+	TrafficControl
+
+	numTrafficClasses
+)
+
+// String implements fmt.Stringer.
+func (t TrafficClass) String() string {
+	switch t {
+	case TrafficGather:
+		return "gather"
+	case TrafficSync:
+		return "sync"
+	case TrafficSignal:
+		return "signal"
+	case TrafficControl:
+		return "control"
+	}
+	return fmt.Sprintf("class(%d)", int(t))
+}
+
+// MachineMeter accumulates one machine's traffic and compute counters.
+// A meter is owned by one engine goroutine at a time; no locking.
+type MachineMeter struct {
+	// SentBytes and RecvBytes are indexed by TrafficClass.
+	SentBytes [numTrafficClasses]int64
+	RecvBytes [numTrafficClasses]int64
+	// EdgeOps counts per-edge work (gather reads, scatter writes);
+	// VertexOps counts apply executions.
+	EdgeOps   int64
+	VertexOps int64
+}
+
+// Send meters bytes leaving this machine.
+func (m *MachineMeter) Send(c TrafficClass, bytes int64) { m.SentBytes[c] += bytes }
+
+// Recv meters bytes arriving at this machine.
+func (m *MachineMeter) Recv(c TrafficClass, bytes int64) { m.RecvBytes[c] += bytes }
+
+// Reset zeroes all counters.
+func (m *MachineMeter) Reset() { *m = MachineMeter{} }
+
+// TotalSent sums sent bytes across classes.
+func (m *MachineMeter) TotalSent() int64 {
+	var t int64
+	for _, b := range m.SentBytes {
+		t += b
+	}
+	return t
+}
+
+// TotalRecv sums received bytes across classes.
+func (m *MachineMeter) TotalRecv() int64 {
+	var t int64
+	for _, b := range m.RecvBytes {
+		t += b
+	}
+	return t
+}
+
+// Add accumulates other into m.
+func (m *MachineMeter) Add(other *MachineMeter) {
+	for c := 0; c < int(numTrafficClasses); c++ {
+		m.SentBytes[c] += other.SentBytes[c]
+		m.RecvBytes[c] += other.RecvBytes[c]
+	}
+	m.EdgeOps += other.EdgeOps
+	m.VertexOps += other.VertexOps
+}
+
+// NetworkReport aggregates cluster-wide traffic for a run.
+type NetworkReport struct {
+	// BytesByClass is total bytes sent per traffic class.
+	BytesByClass [numTrafficClasses]int64
+	TotalBytes   int64
+	EdgeOps      int64
+	VertexOps    int64
+}
+
+// ClassBytes returns the bytes sent under class c.
+func (n NetworkReport) ClassBytes(c TrafficClass) int64 { return n.BytesByClass[c] }
+
+// CostModel converts metered work into simulated wall-clock seconds.
+// The defaults approximate the paper's AWS m3.xlarge testbed: ~1 Gb/s
+// effective per-machine bandwidth, ~1 ms per-superstep barrier, a few
+// nanoseconds per edge operation.
+type CostModel struct {
+	// EdgeOpSeconds is CPU time per edge operation.
+	EdgeOpSeconds float64
+	// VertexOpSeconds is CPU time per apply.
+	VertexOpSeconds float64
+	// BytesPerSecond is per-machine network bandwidth.
+	BytesPerSecond float64
+	// BarrierSeconds is fixed latency per superstep.
+	BarrierSeconds float64
+}
+
+// DefaultCostModel returns the calibrated default cost model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EdgeOpSeconds:   5e-9,
+		VertexOpSeconds: 20e-9,
+		BytesPerSecond:  125e6, // ≈ 1 Gb/s
+		BarrierSeconds:  1e-3,
+	}
+}
+
+// MachineSeconds returns the simulated time machine meter m spends in
+// one superstep: CPU plus serialized network transfer.
+func (c CostModel) MachineSeconds(m *MachineMeter) float64 {
+	cpu := float64(m.EdgeOps)*c.EdgeOpSeconds + float64(m.VertexOps)*c.VertexOpSeconds
+	net := 0.0
+	if c.BytesPerSecond > 0 {
+		net = float64(m.TotalSent()+m.TotalRecv()) / c.BytesPerSecond
+	}
+	return cpu + net
+}
+
+// SuperstepSeconds returns the simulated duration of a superstep given
+// the per-machine meters for that superstep: the slowest machine plus
+// the barrier.
+func (c CostModel) SuperstepSeconds(meters []MachineMeter) float64 {
+	slowest := 0.0
+	for i := range meters {
+		if s := c.MachineSeconds(&meters[i]); s > slowest {
+			slowest = s
+		}
+	}
+	return slowest + c.BarrierSeconds
+}
+
+// CPUSeconds returns the total simulated CPU time across machines (the
+// paper's Figure 1(d) metric: summed, not elapsed).
+func (c CostModel) CPUSeconds(meters []MachineMeter) float64 {
+	total := 0.0
+	for i := range meters {
+		total += float64(meters[i].EdgeOps)*c.EdgeOpSeconds + float64(meters[i].VertexOps)*c.VertexOpSeconds
+	}
+	return total
+}

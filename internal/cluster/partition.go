@@ -1,0 +1,210 @@
+// Package cluster models a vertex-cut distributed graph cluster in the
+// style of GraphLab PowerGraph: edges are partitioned across machines,
+// vertices are replicated wherever their edges live, one replica per
+// vertex is the master, and all traffic between machines is metered.
+//
+// The package provides the three ingress (partitioning) strategies
+// PowerGraph ships — random hashed edge placement, oblivious greedy
+// placement, and 2-D grid placement — plus the Layout structure the GAS
+// engine executes against, the network Meter, and the CostModel that
+// converts metered bytes and operations into simulated seconds.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// MaxMachines bounds the cluster size; machine ids fit in a uint16.
+const MaxMachines = 1 << 12
+
+// Partitioner assigns each edge of a graph to a machine.
+type Partitioner interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Place returns, for each edge in the graph's canonical CSR order,
+	// the machine that owns it. len(result) == g.NumEdges().
+	Place(g *graph.Graph, machines int, seed uint64) []uint16
+}
+
+// hash64 mixes a 64-bit value (splitmix64 finalizer).
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Random places each edge on a machine chosen by hashing the edge,
+// PowerGraph's default "random" ingress.
+type Random struct{}
+
+// Name implements Partitioner.
+func (Random) Name() string { return "random" }
+
+// Place implements Partitioner.
+func (Random) Place(g *graph.Graph, machines int, seed uint64) []uint16 {
+	checkMachines(machines)
+	out := make([]uint16, g.NumEdges())
+	i := 0
+	g.Edges(func(e graph.Edge) bool {
+		h := hash64(uint64(e.Src)<<32 | uint64(e.Dst)*0x9e3779b97f4a7c15 ^ seed)
+		out[i] = uint16(h % uint64(machines))
+		i++
+		return true
+	})
+	return out
+}
+
+// Oblivious implements PowerGraph's greedy heuristic: each edge is
+// placed to minimize new replicas, preferring machines that already
+// host both endpoints, then either endpoint, then the least-loaded
+// machine. It processes edges in a seeded pseudo-random order (greedy
+// quality depends on order; a fixed order would bias against high-id
+// sources).
+type Oblivious struct{}
+
+// Name implements Partitioner.
+func (Oblivious) Name() string { return "oblivious" }
+
+// Place implements Partitioner.
+func (Oblivious) Place(g *graph.Graph, machines int, seed uint64) []uint16 {
+	checkMachines(machines)
+	m64 := uint64(machines)
+	n := g.NumVertices()
+	edges := g.EdgeSlice()
+	order := make([]int, len(edges))
+	r := rng.Derive(seed, 0x0B11)
+	r.Perm(order)
+
+	// presence[v] is a bitset of machines hosting v (machines <= 64
+	// uses one word; larger clusters use the slice path).
+	usesBitset := machines <= 64
+	var presence []uint64
+	var presenceBig [][]uint64
+	if usesBitset {
+		presence = make([]uint64, n)
+	} else {
+		presenceBig = make([][]uint64, n)
+	}
+	words := (machines + 63) / 64
+	has := func(v graph.VertexID, m int) bool {
+		if usesBitset {
+			return presence[v]&(1<<uint(m)) != 0
+		}
+		b := presenceBig[v]
+		return b != nil && b[m/64]&(1<<uint(m%64)) != 0
+	}
+	set := func(v graph.VertexID, m int) {
+		if usesBitset {
+			presence[v] |= 1 << uint(m)
+			return
+		}
+		if presenceBig[v] == nil {
+			presenceBig[v] = make([]uint64, words)
+		}
+		presenceBig[v][m/64] |= 1 << uint(m%64)
+	}
+
+	load := make([]int64, machines)
+	out := make([]uint16, len(edges))
+	leastLoaded := func(pred func(m int) bool) int {
+		best, bestLoad := -1, int64(math.MaxInt64)
+		for m := 0; m < machines; m++ {
+			if pred != nil && !pred(m) {
+				continue
+			}
+			if load[m] < bestLoad {
+				best, bestLoad = m, load[m]
+			}
+		}
+		return best
+	}
+	for _, idx := range order {
+		e := edges[idx]
+		var m int
+		switch {
+		case anyMachine(machines, func(mm int) bool { return has(e.Src, mm) && has(e.Dst, mm) }):
+			m = leastLoaded(func(mm int) bool { return has(e.Src, mm) && has(e.Dst, mm) })
+		case anyMachine(machines, func(mm int) bool { return has(e.Src, mm) || has(e.Dst, mm) }):
+			m = leastLoaded(func(mm int) bool { return has(e.Src, mm) || has(e.Dst, mm) })
+		default:
+			m = leastLoaded(nil)
+		}
+		if m < 0 { // unreachable, but keep the invariant explicit
+			m = int(hash64(uint64(idx)^seed) % m64)
+		}
+		out[idx] = uint16(m)
+		set(e.Src, m)
+		set(e.Dst, m)
+		load[m]++
+	}
+	return out
+}
+
+func anyMachine(machines int, pred func(int) bool) bool {
+	for m := 0; m < machines; m++ {
+		if pred(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Grid implements 2-D grid ingress: machines are arranged in an
+// r×c grid with r·c >= machines; an edge (u,v) goes to the cell at
+// (row(u), col(v)), folded onto a real machine by modulo when the grid
+// has more cells than machines. Each vertex's replicas then lie in one
+// row plus one column, bounding the replication factor by r+c-1.
+type Grid struct{}
+
+// Name implements Partitioner.
+func (Grid) Name() string { return "grid" }
+
+// Place implements Partitioner.
+func (Grid) Place(g *graph.Graph, machines int, seed uint64) []uint16 {
+	checkMachines(machines)
+	rows := int(math.Sqrt(float64(machines)))
+	if rows < 1 {
+		rows = 1
+	}
+	cols := (machines + rows - 1) / rows
+	out := make([]uint16, g.NumEdges())
+	i := 0
+	g.Edges(func(e graph.Edge) bool {
+		row := int(hash64(uint64(e.Src)^seed) % uint64(rows))
+		col := int(hash64(uint64(e.Dst)^(seed+0x51ed)) % uint64(cols))
+		cell := row*cols + col
+		out[i] = uint16(cell % machines)
+		i++
+		return true
+	})
+	return out
+}
+
+func checkMachines(machines int) {
+	if machines < 1 || machines > MaxMachines {
+		panic(fmt.Sprintf("cluster: machine count %d out of [1,%d]", machines, MaxMachines))
+	}
+}
+
+// ByName returns the partitioner with the given name, defaulting to
+// Random for an empty string.
+func ByName(name string) (Partitioner, error) {
+	switch name {
+	case "", "random":
+		return Random{}, nil
+	case "oblivious":
+		return Oblivious{}, nil
+	case "grid":
+		return Grid{}, nil
+	case "hdrf":
+		return HDRF{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown partitioner %q", name)
+}

@@ -1,0 +1,558 @@
+package gas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// rng derivation domains, keeping per-purpose streams independent.
+const (
+	rngDomainApply   = 0xA11
+	rngDomainScatter = 0x5CA
+)
+
+// perEntryHeaderBytes is the wire overhead metered per message, sync or
+// gather entry (a packed vertex id).
+const perEntryHeaderBytes = 4
+
+// Options configures an engine run.
+type Options struct {
+	// PS is the mirror synchronization probability, the paper's ps.
+	// 1 reproduces stock PowerGraph behaviour.
+	PS float64
+	// Seed drives all engine randomness.
+	Seed uint64
+	// MaxSupersteps bounds the run; required (> 0).
+	MaxSupersteps int
+	// AlwaysActive runs Apply for every vertex every superstep
+	// (fixed-iteration power iteration) instead of message-driven
+	// activation.
+	AlwaysActive bool
+	// StopWhen, if non-nil, is evaluated after each superstep with the
+	// superstep index and that superstep's aggregate; returning true
+	// ends the run early.
+	StopWhen func(superstep int, aggregate float64) bool
+	// IndependentErasures selects the paper's Example 9 erasure model
+	// for Splitter programs: when no synchronized replica of a vertex
+	// has local scatter-direction edges, the state is simply stranded
+	// (walkers are lost), instead of force-enabling one replica (the
+	// default, Example 10 "At Least One Out-Edge Per Node").
+	IndependentErasures bool
+	// Cost converts metered work into simulated seconds; the zero
+	// value selects cluster.DefaultCostModel.
+	Cost cluster.CostModel
+}
+
+// RunStats reports what a run did and what it cost.
+type RunStats struct {
+	// Supersteps actually executed.
+	Supersteps int
+	// Net aggregates all traffic sent during the run.
+	Net cluster.NetworkReport
+	// SimSeconds is the simulated elapsed time: per-superstep max over
+	// machines plus barrier, summed.
+	SimSeconds float64
+	// SimSecondsPerStep breaks SimSeconds down by superstep.
+	SimSecondsPerStep []float64
+	// CPUSeconds is total simulated CPU time summed over machines (the
+	// paper's Figure 1(d) metric).
+	CPUSeconds float64
+	// WallSeconds is the real elapsed time of the simulation itself.
+	WallSeconds float64
+	// AggregateByStep holds each superstep's Context.Aggregate sum.
+	AggregateByStep []float64
+	// ActiveByStep holds the number of vertices applied per superstep.
+	ActiveByStep []int64
+	// ReplicationFactor echoes the layout's replication factor.
+	ReplicationFactor float64
+}
+
+// Engine executes a Program over a cluster Layout.
+type Engine[V, M any] struct {
+	lay  *cluster.Layout
+	prog Program[V, M]
+	opts Options
+
+	n        int
+	machines int
+	sizes    Sizes
+
+	splitter  Splitter[V]
+	finalizer Finalizer[V, M]
+
+	// Master state per vertex; written only by the master's machine.
+	state []V
+	// Replica states per machine, indexed by machine-local index. Nil
+	// when the program has no gather phase (replica data unused).
+	replica [][]V
+
+	active     []bool
+	nextActive []bool
+
+	inbox      []M
+	hasMsg     []bool
+	nextInbox  []M
+	nextHasMsg []bool
+
+	// Per-machine gather partials for the current superstep.
+	partials []map[graph.VertexID]float64
+
+	// syncOut[master][target] collects sync/share deliveries produced
+	// in apply, consumed by the target machine in scatter.
+	syncOut [][][]syncEntry[V]
+
+	// outbox[machine] collects locally-combined scatter messages.
+	outbox []map[graph.VertexID]M
+
+	// Meters: per-machine this superstep, plus run totals.
+	stepMeters []cluster.MachineMeter
+	runMeters  []cluster.MachineMeter
+
+	aggregates []float64
+}
+
+type syncEntry[V any] struct {
+	v       graph.VertexID
+	state   V
+	scatter bool
+}
+
+// New validates the configuration and builds an engine. The layout may
+// be shared across engines; the engine itself is single-use (call Run
+// once).
+func New[V, M any](lay *cluster.Layout, prog Program[V, M], opts Options) (*Engine[V, M], error) {
+	if lay == nil || prog == nil {
+		return nil, errors.New("gas: nil layout or program")
+	}
+	if opts.PS < 0 || opts.PS > 1 {
+		return nil, fmt.Errorf("gas: ps %v out of [0,1]", opts.PS)
+	}
+	if opts.MaxSupersteps <= 0 {
+		return nil, fmt.Errorf("gas: MaxSupersteps must be positive, got %d", opts.MaxSupersteps)
+	}
+	if opts.Cost == (cluster.CostModel{}) {
+		opts.Cost = cluster.DefaultCostModel()
+	}
+	e := &Engine[V, M]{
+		lay:      lay,
+		prog:     prog,
+		opts:     opts,
+		n:        lay.Graph().NumVertices(),
+		machines: lay.NumMachines(),
+		sizes:    prog.Sizes(),
+	}
+	if s, ok := prog.(Splitter[V]); ok {
+		e.splitter = s
+	}
+	if f, ok := prog.(Finalizer[V, M]); ok {
+		e.finalizer = f
+	}
+	e.state = make([]V, e.n)
+	e.active = make([]bool, e.n)
+	e.nextActive = make([]bool, e.n)
+	e.inbox = make([]M, e.n)
+	e.hasMsg = make([]bool, e.n)
+	e.nextInbox = make([]M, e.n)
+	e.nextHasMsg = make([]bool, e.n)
+	e.partials = make([]map[graph.VertexID]float64, e.machines)
+	e.outbox = make([]map[graph.VertexID]M, e.machines)
+	e.syncOut = make([][][]syncEntry[V], e.machines)
+	for m := 0; m < e.machines; m++ {
+		e.partials[m] = make(map[graph.VertexID]float64)
+		e.outbox[m] = make(map[graph.VertexID]M)
+		e.syncOut[m] = make([][]syncEntry[V], e.machines)
+	}
+	e.stepMeters = make([]cluster.MachineMeter, e.machines)
+	e.runMeters = make([]cluster.MachineMeter, e.machines)
+	e.aggregates = make([]float64, e.machines)
+
+	if prog.GatherDir() != DirNone {
+		e.replica = make([][]V, e.machines)
+		for m := 0; m < e.machines; m++ {
+			e.replica[m] = make([]V, lay.View(m).NumPresent())
+		}
+	}
+
+	// Initial states and activation.
+	for v := 0; v < e.n; v++ {
+		st, act := prog.InitState(graph.VertexID(v))
+		e.state[v] = st
+		e.active[v] = act
+	}
+	if e.replica != nil {
+		for m := 0; m < e.machines; m++ {
+			view := lay.View(m)
+			for li, v := range view.Verts() {
+				e.replica[m][li] = e.state[v]
+			}
+		}
+	}
+	return e, nil
+}
+
+// parallel runs fn(machine) concurrently for every machine and waits.
+func (e *Engine[V, M]) parallel(fn func(m int)) {
+	if e.machines == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.machines)
+	for m := 0; m < e.machines; m++ {
+		go func(m int) {
+			defer wg.Done()
+			fn(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// Run executes supersteps until MaxSupersteps, quiescence (no active
+// vertices and no pending messages) or StopWhen fires, then runs the
+// finalizer and returns statistics.
+func (e *Engine[V, M]) Run() (*RunStats, error) {
+	start := time.Now()
+	stats := &RunStats{ReplicationFactor: e.lay.ReplicationFactor()}
+	for step := 0; step < e.opts.MaxSupersteps; step++ {
+		applied := e.superstep(step)
+		stats.Supersteps = step + 1
+
+		agg := 0.0
+		for m := 0; m < e.machines; m++ {
+			agg += e.aggregates[m]
+		}
+		stats.AggregateByStep = append(stats.AggregateByStep, agg)
+		stats.ActiveByStep = append(stats.ActiveByStep, applied)
+
+		stepSeconds := e.opts.Cost.SuperstepSeconds(e.stepMeters)
+		stats.SimSecondsPerStep = append(stats.SimSecondsPerStep, stepSeconds)
+		stats.SimSeconds += stepSeconds
+		for m := 0; m < e.machines; m++ {
+			e.runMeters[m].Add(&e.stepMeters[m])
+			e.stepMeters[m].Reset()
+		}
+
+		if e.opts.StopWhen != nil && e.opts.StopWhen(step, agg) {
+			break
+		}
+		if !e.opts.AlwaysActive && e.quiescent() {
+			break
+		}
+	}
+	// Deliver still-pending messages to the finalizer.
+	if e.finalizer != nil {
+		e.parallel(func(m int) {
+			for _, v := range e.lay.View(m).Masters() {
+				e.state[v] = e.finalizer.Finalize(v, e.state[v], e.inbox[v], e.hasMsg[v])
+			}
+		})
+	}
+	for m := 0; m < e.machines; m++ {
+		mm := &e.runMeters[m]
+		for c := cluster.TrafficGather; c <= cluster.TrafficControl; c++ {
+			stats.Net.BytesByClass[c] += mm.SentBytes[c]
+		}
+		stats.Net.EdgeOps += mm.EdgeOps
+		stats.Net.VertexOps += mm.VertexOps
+	}
+	for _, b := range stats.Net.BytesByClass {
+		stats.Net.TotalBytes += b
+	}
+	stats.CPUSeconds = e.opts.Cost.CPUSeconds(e.runMeters)
+	stats.WallSeconds = time.Since(start).Seconds()
+	return stats, nil
+}
+
+// quiescent reports whether no vertex is active and no message is
+// pending.
+func (e *Engine[V, M]) quiescent() bool {
+	for v := 0; v < e.n; v++ {
+		if e.active[v] || e.hasMsg[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// superstep runs one full GAS cycle and returns the number of applied
+// vertices.
+func (e *Engine[V, M]) superstep(step int) int64 {
+	gatherDir := e.prog.GatherDir()
+	scatterDir := e.prog.ScatterDir()
+	for m := 0; m < e.machines; m++ {
+		e.aggregates[m] = 0
+	}
+
+	// Phase 1 — gather partials on every machine.
+	if gatherDir != DirNone {
+		e.parallel(func(m int) {
+			view := e.lay.View(m)
+			meter := &e.stepMeters[m]
+			part := e.partials[m]
+			ctx := &Context{Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m}
+			read := func(u graph.VertexID) V {
+				li, _ := view.LocalIndex(u)
+				return e.replica[m][li]
+			}
+			for li, v := range view.Verts() {
+				if !e.isActive(v) {
+					continue
+				}
+				var neighbors []graph.VertexID
+				if gatherDir == DirIn {
+					neighbors = view.InNeighborsLocal(int32(li))
+				} else {
+					neighbors = view.OutNeighborsLocal(int32(li))
+				}
+				if len(neighbors) == 0 {
+					continue
+				}
+				part[v] = e.prog.GatherLocal(v, neighbors, read, ctx)
+				meter.EdgeOps += int64(len(neighbors))
+				if int(e.lay.MasterOf(v)) != m {
+					meter.Send(cluster.TrafficGather, int64(e.sizes.Acc)+perEntryHeaderBytes)
+				}
+			}
+		})
+	}
+
+	// Phase 2 — apply at masters; plan sync and scatter shares.
+	var applied int64
+	var appliedMu sync.Mutex
+	e.parallel(func(m int) {
+		view := e.lay.View(m)
+		meter := &e.stepMeters[m]
+		var localApplied int64
+		for _, v := range view.Masters() {
+			if !e.isActive(v) && !e.hasMsg[v] {
+				continue
+			}
+			localApplied++
+			acc := 0.0
+			if gatherDir != DirNone {
+				for mm := 0; mm < e.machines; mm++ {
+					if p, ok := e.partials[mm][v]; ok {
+						acc += p
+						if mm != m {
+							meter.Recv(cluster.TrafficGather, int64(e.sizes.Acc)+perEntryHeaderBytes)
+						}
+					}
+				}
+			}
+			ctx := &Context{
+				Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m,
+				Rng: rng.Derive(e.opts.Seed, rngDomainApply, uint64(step), uint64(v)),
+			}
+			newState, doScatter := e.prog.Apply(v, e.state[v], acc, e.inbox[v], e.hasMsg[v], ctx)
+			e.state[v] = newState
+			e.aggregates[m] += ctx.aggregate
+			meter.VertexOps++
+			if e.replica != nil {
+				if li, ok := view.LocalIndex(v); ok {
+					e.replica[m][li] = newState
+				}
+			}
+			if doScatter {
+				e.planSync(m, v, newState, ctx.Rng, meter)
+			}
+		}
+		appliedMu.Lock()
+		applied += localApplied
+		appliedMu.Unlock()
+	})
+
+	// Phase 3 — deliver syncs, then scatter on synchronized replicas.
+	e.parallel(func(m int) {
+		view := e.lay.View(m)
+		meter := &e.stepMeters[m]
+		out := e.outbox[m]
+		for src := 0; src < e.machines; src++ {
+			for _, entry := range e.syncOut[src][m] {
+				if src != m {
+					meter.Recv(cluster.TrafficSync, int64(e.sizes.State)+perEntryHeaderBytes)
+				}
+				li, ok := view.LocalIndex(entry.v)
+				if !ok {
+					continue
+				}
+				if e.replica != nil && e.splitter == nil {
+					e.replica[m][li] = entry.state
+				}
+				if !entry.scatter || scatterDir == DirNone {
+					continue
+				}
+				var neighbors []graph.VertexID
+				if scatterDir == DirOut {
+					neighbors = view.OutNeighborsLocal(li)
+				} else {
+					neighbors = view.InNeighborsLocal(li)
+				}
+				if len(neighbors) == 0 {
+					continue
+				}
+				ctx := &Context{
+					Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m,
+					Rng: rng.Derive(e.opts.Seed, rngDomainScatter, uint64(step), uint64(entry.v), uint64(m)),
+				}
+				e.prog.ScatterLocal(entry.v, entry.state, neighbors, func(dst graph.VertexID, msg M) {
+					if prev, ok := out[dst]; ok {
+						out[dst] = e.prog.CombineMsg(prev, msg)
+					} else {
+						out[dst] = msg
+					}
+				}, ctx)
+				meter.EdgeOps += int64(len(neighbors))
+			}
+		}
+	})
+
+	// Phase 4 — route combined messages to destination masters. Each
+	// destination machine drains every outbox for its own vertices, so
+	// writes to nextInbox are disjoint across goroutines.
+	e.parallel(func(m int) {
+		meter := &e.stepMeters[m]
+		for src := 0; src < e.machines; src++ {
+			for dst, msg := range e.outbox[src] {
+				if int(e.lay.MasterOf(dst)) != m {
+					continue
+				}
+				if src != m {
+					meter.Recv(cluster.TrafficSignal, int64(e.sizes.Msg)+perEntryHeaderBytes)
+				}
+				if e.nextHasMsg[dst] {
+					e.nextInbox[dst] = e.prog.CombineMsg(e.nextInbox[dst], msg)
+				} else {
+					e.nextInbox[dst] = msg
+					e.nextHasMsg[dst] = true
+				}
+				e.nextActive[dst] = true
+			}
+		}
+	})
+	// Meter sends for signals (per source machine) and charge one
+	// control message per machine pair for the barrier.
+	for src := 0; src < e.machines; src++ {
+		meter := &e.stepMeters[src]
+		for dst := range e.outbox[src] {
+			if int(e.lay.MasterOf(dst)) != src {
+				meter.Send(cluster.TrafficSignal, int64(e.sizes.Msg)+perEntryHeaderBytes)
+			}
+		}
+		meter.Send(cluster.TrafficControl, int64(8*(e.machines-1)))
+	}
+
+	// Swap double buffers and clear scratch.
+	e.inbox, e.nextInbox = e.nextInbox, e.inbox
+	e.hasMsg, e.nextHasMsg = e.nextHasMsg, e.hasMsg
+	e.active, e.nextActive = e.nextActive, e.active
+	var zeroM M
+	for v := 0; v < e.n; v++ {
+		e.nextActive[v] = false
+		e.nextHasMsg[v] = false
+		e.nextInbox[v] = zeroM // drop consumed messages; stale values must never leak
+	}
+	for m := 0; m < e.machines; m++ {
+		clear(e.partials[m])
+		clear(e.outbox[m])
+		for t := 0; t < e.machines; t++ {
+			e.syncOut[m][t] = e.syncOut[m][t][:0]
+		}
+	}
+	return applied
+}
+
+// isActive reports whether v takes part in this superstep.
+func (e *Engine[V, M]) isActive(v graph.VertexID) bool {
+	return e.opts.AlwaysActive || e.active[v] || e.hasMsg[v]
+}
+
+// planSync decides which replicas of v synchronize this superstep,
+// meters the sync traffic, and enqueues per-target sync entries
+// (with split shares for Splitter programs). It runs at v's master
+// machine m; r is the vertex's apply-phase stream, so the mirror coin
+// flips are deterministic per (seed, superstep, vertex).
+func (e *Engine[V, M]) planSync(m int, v graph.VertexID, state V, r *rng.Stream, meter *cluster.MachineMeter) {
+	presences := e.lay.Presences(v)
+	if len(presences) == 0 {
+		return
+	}
+	// presences[0] is the master's machine: always synchronized.
+	synced := make([]uint16, 1, len(presences))
+	synced[0] = presences[0]
+	for _, mirror := range presences[1:] {
+		if r.Bernoulli(e.opts.PS) {
+			synced = append(synced, mirror)
+			meter.Send(cluster.TrafficSync, int64(e.sizes.State)+perEntryHeaderBytes)
+		}
+	}
+
+	if e.splitter == nil {
+		for _, target := range synced {
+			e.syncOut[m][target] = append(e.syncOut[m][target], syncEntry[V]{v: v, state: state, scatter: true})
+		}
+		return
+	}
+
+	// Splitter path: shares go only to synchronized replicas that own
+	// local scatter-direction edges of v. If none qualifies, force-
+	// enable one replica that has local edges — the paper's "At Least
+	// One Out-Edge Per Node" erasure model (Example 10).
+	scatterDir := e.prog.ScatterDir()
+	localDeg := func(machine uint16) int {
+		view := e.lay.View(int(machine))
+		li, ok := view.LocalIndex(v)
+		if !ok {
+			return 0
+		}
+		if scatterDir == DirIn {
+			return view.LocalInDegree(li)
+		}
+		return view.LocalOutDegree(li)
+	}
+	targets := make([]uint16, 0, len(synced))
+	weights := make([]int, 0, len(synced))
+	for _, t := range synced {
+		if d := localDeg(t); d > 0 {
+			targets = append(targets, t)
+			weights = append(weights, d)
+		}
+	}
+	if len(targets) == 0 {
+		if e.opts.IndependentErasures {
+			return // Example 9: the state strands this superstep
+		}
+		// Collect all replicas with local edges and force one.
+		var candidates []uint16
+		for _, t := range presences {
+			if localDeg(t) > 0 {
+				candidates = append(candidates, t)
+			}
+		}
+		if len(candidates) == 0 {
+			return // vertex has no scatter-direction edges anywhere
+		}
+		forced := candidates[r.Intn(len(candidates))]
+		targets = append(targets, forced)
+		weights = append(weights, localDeg(forced))
+		if int(forced) != m {
+			meter.Send(cluster.TrafficSync, int64(e.sizes.State)+perEntryHeaderBytes)
+		}
+	}
+	shares := e.splitter.Split(v, state, weights, r)
+	if len(shares) != len(targets) {
+		panic(fmt.Sprintf("gas: Split returned %d shares for %d targets", len(shares), len(targets)))
+	}
+	for i, target := range targets {
+		e.syncOut[m][target] = append(e.syncOut[m][target], syncEntry[V]{v: v, state: shares[i], scatter: true})
+	}
+}
+
+// MasterStates returns the final master state of every vertex, indexed
+// by vertex id. Valid after Run.
+func (e *Engine[V, M]) MasterStates() []V { return e.state }

@@ -1,0 +1,155 @@
+// Package gas implements a synchronous, vertex-cut GAS (gather, apply,
+// scatter) graph engine in the style of GraphLab PowerGraph, extended
+// with the FrogWild paper's one engine modification: a per-run scalar
+// ps ∈ [0,1] such that at every superstep each master synchronizes each
+// of its mirrors only with probability ps. Mirrors that are not
+// synchronized stay idle for that superstep's scatter phase, which is
+// exactly the paper's randomized-synchronization patch and its source
+// of network savings.
+//
+// A superstep proceeds in phases, matching PowerGraph's synchronous
+// engine:
+//
+//  1. Gather: every machine computes a partial accumulator for each
+//     active vertex it hosts from its locally-owned gather-direction
+//     edges; partials flow mirror→master.
+//  2. Apply: the master combines partials and the vertex's combined
+//     inbound message and runs Apply, producing the new state.
+//  3. Sync: the master synchronizes each mirror with probability ps
+//     (the master's own machine is always current). Programs that
+//     implement Splitter divide their state across the synchronized
+//     replicas instead of copying it — this is how FrogWild's frogs
+//     fan out while each frog still traverses exactly one edge.
+//  4. Scatter: every synchronized replica runs ScatterLocal over its
+//     local scatter-direction edges and may emit messages; messages
+//     are combined per destination and delivered to the destination's
+//     master at the start of the next superstep, activating it.
+//
+// All randomness derives deterministically from the run seed, the
+// superstep and the vertex (or machine), so runs are reproducible
+// regardless of goroutine scheduling.
+package gas
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Dir selects which locally-owned edges a phase operates on.
+type Dir int
+
+const (
+	// DirNone disables the phase.
+	DirNone Dir = iota
+	// DirIn selects in-edges (gather over predecessors, as PageRank
+	// does).
+	DirIn
+	// DirOut selects out-edges (scatter to successors, as both PageRank
+	// and FrogWild do).
+	DirOut
+)
+
+// Context carries per-call engine context into program hooks.
+type Context struct {
+	// Superstep is the current superstep, starting at 0.
+	Superstep int
+	// NumVertices is the global vertex count.
+	NumVertices int
+	// NumMachines is the cluster size.
+	NumMachines int
+	// Machine is the executing machine (gather/scatter hooks) or the
+	// master machine (apply).
+	Machine int
+	// Rng is a deterministic stream scoped to this (superstep, vertex)
+	// or (superstep, machine, vertex) as appropriate.
+	Rng *rng.Stream
+
+	aggregate float64
+}
+
+// Aggregate adds x to the engine's global per-superstep aggregator
+// (summed across vertices and machines); used e.g. for PageRank's
+// convergence residual. Only meaningful from Apply.
+func (c *Context) Aggregate(x float64) { c.aggregate += x }
+
+// Sizes declares the serialized byte widths the engine meters for a
+// program's data types.
+type Sizes struct {
+	// State is the vertex-state bytes copied master→mirror on sync.
+	State int
+	// Msg is the message payload bytes (the per-entry vertex-id header
+	// is added by the engine).
+	Msg int
+	// Acc is the gather accumulator bytes sent mirror→master.
+	Acc int
+}
+
+// Program is a vertex program executed by the engine. V is the vertex
+// state type; M is the message type emitted by scatter.
+//
+// CombineMsg must be commutative and associative, and exact (e.g.
+// integer addition) if bit-reproducible runs are required; the engine
+// combines messages in arrival order.
+type Program[V, M any] interface {
+	// InitState returns vertex v's initial state and whether v starts
+	// active. It is called once per vertex before superstep 0.
+	InitState(v graph.VertexID) (V, bool)
+
+	// GatherDir selects the gather phase's edge direction; DirNone
+	// skips the phase entirely.
+	GatherDir() Dir
+
+	// GatherLocal computes this machine's partial accumulator for
+	// vertex v. neighbors holds the gather-direction endpoints of the
+	// machine's locally-owned edges of v (sources for DirIn,
+	// destinations for DirOut); read returns the machine-local replica
+	// state of any vertex present on this machine.
+	GatherLocal(v graph.VertexID, neighbors []graph.VertexID, read func(graph.VertexID) V, ctx *Context) float64
+
+	// Apply runs at v's master with the summed accumulator and the
+	// combined inbound message (hasMsg reports whether any message
+	// arrived). It returns the new state and whether the sync+scatter
+	// phases should run for v this superstep.
+	Apply(v graph.VertexID, state V, acc float64, msg M, hasMsg bool, ctx *Context) (V, bool)
+
+	// ScatterDir selects the scatter phase's edge direction; DirNone
+	// skips it (sync still runs, keeping replicas fresh for gather).
+	ScatterDir() Dir
+
+	// ScatterLocal runs on each synchronized replica of v. neighbors
+	// holds the scatter-direction endpoints of this machine's local
+	// edges of v; emit sends a message to a vertex, activating it next
+	// superstep. state is the replica's state — for Splitter programs,
+	// this replica's share.
+	ScatterLocal(v graph.VertexID, state V, neighbors []graph.VertexID, emit func(dst graph.VertexID, m M), ctx *Context)
+
+	// CombineMsg merges two messages destined for the same vertex.
+	CombineMsg(a, b M) M
+
+	// Sizes returns the byte widths used for network metering.
+	Sizes() Sizes
+}
+
+// Splitter is an optional Program extension: instead of copying the
+// master state to every synchronized replica, the engine asks the
+// program to divide the state into one share per synchronized replica
+// that has local scatter-direction edges. weights holds each such
+// replica's local edge count; the returned slice must have
+// len(weights) entries.
+//
+// FrogWild uses this to route each of K frogs through exactly one
+// (enabled) out-edge: shares are multinomial with probabilities
+// proportional to weights, which makes each frog's edge choice uniform
+// over all enabled out-edges — the paper's edge-erasure model
+// (Appendix A) at machine granularity.
+type Splitter[V any] interface {
+	Split(v graph.VertexID, state V, weights []int, r *rng.Stream) []V
+}
+
+// Finalizer is an optional Program extension invoked once per vertex
+// after the last superstep, at the master, with any still-undelivered
+// combined message (frogs in flight at the cutoff, in FrogWild's
+// case). The returned state replaces the master state.
+type Finalizer[V, M any] interface {
+	Finalize(v graph.VertexID, state V, pending M, hasPending bool) V
+}

@@ -1,0 +1,157 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph/gen"
+)
+
+func TestRumorSpreadsOnCompleteGraph(t *testing.T) {
+	// Push protocol on the complete graph informs everyone in
+	// O(log n) rounds whp; give it generous slack.
+	g := gen.Complete(64)
+	res, err := Run(g, Config{Origin: 0, Rounds: 40, Machines: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 64 {
+		t.Fatalf("informed %d/64 after 40 rounds", res.Informed)
+	}
+	if res.RoundReached[0] != 0 {
+		t.Error("origin round should be 0")
+	}
+}
+
+func TestInformedByRoundMonotone(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 500, MeanOutDeg: 8, DegExponent: 2.1, PrefExponent: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Config{Origin: 3, Rounds: 20, Machines: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < len(res.InformedByRound); r++ {
+		if res.InformedByRound[r] < res.InformedByRound[r-1] {
+			t.Fatal("cumulative informed counts must be monotone")
+		}
+	}
+	if last := res.InformedByRound[len(res.InformedByRound)-1]; last != res.Informed {
+		t.Errorf("cumulative end %d != informed %d", last, res.Informed)
+	}
+	if res.Informed < 10 {
+		t.Errorf("rumor barely spread: %d informed", res.Informed)
+	}
+}
+
+func TestLowPSSlowsSpreadNotStopsIt(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 1000, MeanOutDeg: 10, DegExponent: 2.1, PrefExponent: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := cluster.NewLayout(g, 12, cluster.Random{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(g, Config{Origin: 0, Rounds: 15, PS: 1, Layout: lay, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Run(g, Config{Origin: 0, Rounds: 15, PS: 0.2, Layout: lay, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The erasure model always enables at least one out-edge, so a push
+	// always happens: low ps must still spread the rumor, roughly as
+	// fast (pushes are never dropped, only constrained to enabled
+	// machines).
+	if low.Informed < full.Informed/2 {
+		t.Errorf("ps=0.2 informed %d vs ps=1 %d — far too slow", low.Informed, full.Informed)
+	}
+	// And it must cost less sync traffic.
+	if low.Stats.Net.ClassBytes(cluster.TrafficSync) >= full.Stats.Net.ClassBytes(cluster.TrafficSync) {
+		t.Error("ps=0.2 should reduce sync bytes")
+	}
+}
+
+func TestOnePushPerRound(t *testing.T) {
+	// On a directed cycle, the push has exactly one possible edge each
+	// round: after R rounds exactly R+1 vertices are informed.
+	g := gen.Cycle(30)
+	res, err := Run(g, Config{Origin: 0, Rounds: 10, Machines: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 11 {
+		t.Fatalf("cycle informed %d after 10 rounds, want 11 (one hop per round)", res.Informed)
+	}
+	for v := 0; v <= 10; v++ {
+		if res.RoundReached[v] != int32(v) {
+			t.Fatalf("vertex %d reached at round %d, want %d", v, res.RoundReached[v], v)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 300, MeanOutDeg: 6, DegExponent: 2.1, PrefExponent: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := cluster.NewLayout(g, 6, cluster.Random{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(g, Config{Origin: 5, Rounds: 12, PS: 0.5, Layout: lay, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Config{Origin: 5, Rounds: 12, PS: 0.5, Layout: lay, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.RoundReached {
+		if a.RoundReached[v] != b.RoundReached[v] {
+			t.Fatal("gossip not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := Run(nil, Config{Rounds: 1}); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, err := Run(g, Config{Origin: 99, Rounds: 1}); err == nil {
+		t.Error("bad origin should error")
+	}
+	if _, err := Run(g, Config{Rounds: 0}); err == nil {
+		t.Error("zero rounds should error")
+	}
+	if _, err := Run(g, Config{Rounds: 1, PS: 2}); err == nil {
+		t.Error("bad ps should error")
+	}
+}
+
+func TestSpreadRateLogarithmic(t *testing.T) {
+	// Rounds to inform half the complete graph should grow ~log n.
+	roundsToHalf := func(n int) int {
+		g := gen.Complete(n)
+		res, err := Run(g, Config{Origin: 0, Rounds: 60, Machines: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, c := range res.InformedByRound {
+			if c >= n/2 {
+				return r
+			}
+		}
+		return math.MaxInt32
+	}
+	r64 := roundsToHalf(64)
+	r256 := roundsToHalf(256)
+	if r256 > 4*r64+4 {
+		t.Errorf("spread not logarithmic-ish: half(64)=%d rounds, half(256)=%d", r64, r256)
+	}
+}

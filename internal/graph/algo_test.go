@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTranspose(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}, {1, 2}, {2, 0}, {0, 2}})
+	tr := g.Transpose()
+	if tr.NumEdges() != 4 {
+		t.Fatalf("edges = %d", tr.NumEdges())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Transposing twice is the identity on the edge multiset.
+	trtr := tr.Transpose()
+	a, b := g.EdgeSlice(), trtr.EdgeSlice()
+	count := map[Edge]int{}
+	for _, e := range a {
+		count[e]++
+	}
+	for _, e := range b {
+		count[e]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			t.Fatal("double transpose changed edge multiset")
+		}
+	}
+	// Degrees swap.
+	for v := 0; v < 3; v++ {
+		if g.OutDegree(VertexID(v)) != tr.InDegree(VertexID(v)) {
+			t.Fatalf("degree swap broken at %d", v)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// 0->1->2->3->0 plus chord 0->2.
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	sub, orig := g.InducedSubgraph([]bool{true, false, true, true})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", sub.NumVertices())
+	}
+	// Kept edges among {0,2,3}: 2->3, 3->0, 0->2.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("edges = %d", sub.NumEdges())
+	}
+	if orig[0] != 0 || orig[1] != 2 || orig[2] != 3 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraphBadMask(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mask length mismatch")
+		}
+	}()
+	FromEdges(2, nil).InducedSubgraph([]bool{true})
+}
+
+func TestReachable(t *testing.T) {
+	// Two disjoint cycles: {0,1} and {2,3}.
+	g := FromEdges(4, []Edge{{0, 1}, {1, 0}, {2, 3}, {3, 2}})
+	r := g.Reachable(0)
+	if !r[0] || !r[1] || r[2] || r[3] {
+		t.Fatalf("reachable = %v", r)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Path 0->1->2->3 with shortcut 0->3.
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	d := g.BFSDistances(0)
+	want := []int32{0, 1, 2, 1, -1}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("dist[%d] = %d want %d", v, d[v], w)
+		}
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// {0,1,2} cycle, {3,4} cycle, 2->3 bridge, 5 isolated.
+	g := FromEdges(6, []Edge{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 3},
+		{2, 3},
+	})
+	comp, num := g.SCC()
+	if num != 3 {
+		t.Fatalf("components = %d, want 3", num)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("cycle {0,1,2} split")
+	}
+	if comp[3] != comp[4] {
+		t.Error("cycle {3,4} split")
+	}
+	if comp[0] == comp[3] || comp[0] == comp[5] || comp[3] == comp[5] {
+		t.Error("distinct components merged")
+	}
+	// Tarjan emits components in reverse topological order: the sink
+	// component {3,4} is emitted before {0,1,2} which can reach it.
+	if comp[3] > comp[0] {
+		t.Error("component order not reverse topological")
+	}
+}
+
+func TestSCCCompleteAndAcyclic(t *testing.T) {
+	// A directed 4-cycle is one SCC.
+	cyc := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if _, num := cyc.SCC(); num != 1 {
+		t.Errorf("cycle SCC count = %d", num)
+	}
+	// A DAG has n components.
+	dag := FromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if _, num := dag.SCC(); num != 4 {
+		t.Errorf("DAG SCC count = %d", num)
+	}
+}
+
+// TestSCCAgainstBruteForce checks Tarjan against reachability-based
+// component computation on random graphs.
+func TestSCCAgainstBruteForce(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(30) + 2
+		m := r.Intn(120)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{VertexID(r.Intn(n)), VertexID(r.Intn(n))}
+		}
+		g := FromEdges(n, edges)
+		comp, _ := g.SCC()
+		reach := make([][]bool, n)
+		for v := 0; v < n; v++ {
+			reach[v] = g.Reachable(VertexID(v))
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				same := reach[a][b] && reach[b][a]
+				if same != (comp[a] == comp[b]) {
+					t.Fatalf("n=%d: SCC disagrees with reachability for (%d,%d)", n, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLargestSCCMask(t *testing.T) {
+	// Big cycle {0..4}, small cycle {5,6}.
+	edges := []Edge{{5, 6}, {6, 5}}
+	for v := 0; v < 5; v++ {
+		edges = append(edges, Edge{VertexID(v), VertexID((v + 1) % 5)})
+	}
+	g := FromEdges(7, edges)
+	mask := g.LargestSCCMask()
+	for v := 0; v < 5; v++ {
+		if !mask[v] {
+			t.Fatalf("vertex %d should be in largest SCC", v)
+		}
+	}
+	if mask[5] || mask[6] {
+		t.Error("small component marked as largest")
+	}
+	sub, _ := g.InducedSubgraph(mask)
+	if sub.NumVertices() != 5 || sub.NumEdges() != 5 {
+		t.Errorf("largest SCC subgraph: %d vertices %d edges", sub.NumVertices(), sub.NumEdges())
+	}
+}
+
+func TestSCCDeepRecursionSafe(t *testing.T) {
+	// A 100k-vertex path would blow a recursive Tarjan's stack; the
+	// iterative version must handle it.
+	const n = 100000
+	edges := make([]Edge, n-1)
+	for v := 0; v < n-1; v++ {
+		edges[v] = Edge{VertexID(v), VertexID(v + 1)}
+	}
+	g := FromEdges(n, edges)
+	_, num := g.SCC()
+	if num != n {
+		t.Fatalf("path SCC count = %d, want %d", num, n)
+	}
+}

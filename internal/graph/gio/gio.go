@@ -1,0 +1,309 @@
+// Package gio reads and writes graphs in two formats:
+//
+//   - SNAP-style edge-list text: one "src dst" pair per line, '#'
+//     comments allowed, the format of the paper's LiveJournal and
+//     Twitter datasets. Vertex ids are remapped densely in first-seen
+//     order unless they are already dense.
+//   - A compact binary CSR format ("FWG1") for fast reloads.
+//
+// Files ending in ".gz" are compressed/decompressed transparently.
+package gio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// openReader opens path for reading, wrapping in gzip when the name
+// ends in ".gz".
+func openReader(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzipReadCloser{zr: zr, f: f}, nil
+}
+
+type gzipReadCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.zr.Read(p) }
+func (g *gzipReadCloser) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// openWriter creates path for writing, wrapping in gzip when the name
+// ends in ".gz". Call the returned closer to flush.
+func openWriter(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	return &gzipWriteCloser{zw: gzip.NewWriter(f), f: f}, nil
+}
+
+type gzipWriteCloser struct {
+	zw *gzip.Writer
+	f  *os.File
+}
+
+func (g *gzipWriteCloser) Write(p []byte) (int, error) { return g.zw.Write(p) }
+func (g *gzipWriteCloser) Close() error {
+	zerr := g.zw.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// EdgeListOptions controls text edge-list parsing.
+type EdgeListOptions struct {
+	// Dangling is the repair policy applied after loading.
+	Dangling graph.DanglingPolicy
+	// AllowDangling permits dangling vertices under DanglingKeep.
+	AllowDangling bool
+	// Dedup removes duplicate edges.
+	Dedup bool
+	// NoSelfLoops drops self loops.
+	NoSelfLoops bool
+}
+
+// ReadEdgeList parses a SNAP-style edge-list stream. Vertex ids are
+// remapped to dense [0, n) in first-appearance order.
+func ReadEdgeList(r io.Reader, opts EdgeListOptions) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	idmap := make(map[uint64]uint32)
+	var edges []graph.Edge
+	lineNo := 0
+	lookup := func(raw uint64) uint32 {
+		if id, ok := idmap[raw]; ok {
+			return id
+		}
+		id := uint32(len(idmap))
+		idmap[raw] = id
+		return id
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("gio: line %d: want 'src dst', got %q", lineNo, line)
+		}
+		s, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad src: %v", lineNo, err)
+		}
+		d, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad dst: %v", lineNo, err)
+		}
+		edges = append(edges, graph.Edge{Src: lookup(s), Dst: lookup(d)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(len(idmap)).Dangling(opts.Dangling)
+	if opts.AllowDangling {
+		b.AllowDangling()
+	}
+	if opts.Dedup {
+		b.Dedup()
+	}
+	if opts.NoSelfLoops {
+		b.NoSelfLoops()
+	}
+	b.AddEdges(edges)
+	return b.Build()
+}
+
+// LoadEdgeList reads an edge-list file (optionally .gz).
+func LoadEdgeList(path string, opts EdgeListOptions) (*graph.Graph, error) {
+	rc, err := openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return ReadEdgeList(rc, opts)
+}
+
+// WriteEdgeList writes the graph as "src dst" lines.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var scratch [24]byte
+	var outerErr error
+	g.Edges(func(e graph.Edge) bool {
+		buf := strconv.AppendUint(scratch[:0], uint64(e.Src), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(e.Dst), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			outerErr = err
+			return false
+		}
+		return true
+	})
+	if outerErr != nil {
+		return outerErr
+	}
+	return bw.Flush()
+}
+
+// SaveEdgeList writes an edge-list file (optionally .gz).
+func SaveEdgeList(path string, g *graph.Graph) error {
+	wc, err := openWriter(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(wc, g); err != nil {
+		wc.Close()
+		return err
+	}
+	return wc.Close()
+}
+
+// binaryMagic identifies the binary graph format, version 1.
+const binaryMagic = "FWG1"
+
+// WriteBinary serializes the graph in the compact binary format:
+// magic, n (u64), m (u64), then m (src,dst) u32 pairs in CSR order.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [8]byte
+	var outerErr error
+	g.Edges(func(e graph.Edge) bool {
+		binary.LittleEndian.PutUint32(rec[0:4], e.Src)
+		binary.LittleEndian.PutUint32(rec[4:8], e.Dst)
+		if _, err := bw.Write(rec[:]); err != nil {
+			outerErr = err
+			return false
+		}
+		return true
+	})
+	if outerErr != nil {
+		return outerErr
+	}
+	return bw.Flush()
+}
+
+// ErrBadFormat indicates a corrupt or foreign binary graph file.
+var ErrBadFormat = errors.New("gio: not a FWG1 binary graph")
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, ErrBadFormat
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadFormat)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	m := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > 1<<31 || m > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrBadFormat, n, m)
+	}
+	edges := make([]graph.Edge, m)
+	var rec [8]byte
+	for i := range edges {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at edge %d", ErrBadFormat, i)
+		}
+		s := binary.LittleEndian.Uint32(rec[0:4])
+		d := binary.LittleEndian.Uint32(rec[4:8])
+		if uint64(s) >= n || uint64(d) >= n {
+			return nil, fmt.Errorf("%w: edge %d out of range", ErrBadFormat, i)
+		}
+		edges[i] = graph.Edge{Src: s, Dst: d}
+	}
+	g := graph.FromEdges(int(n), edges)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return g, nil
+}
+
+// SaveBinary writes the binary format to path (optionally .gz).
+func SaveBinary(path string, g *graph.Graph) error {
+	wc, err := openWriter(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(wc, g); err != nil {
+		wc.Close()
+		return err
+	}
+	return wc.Close()
+}
+
+// LoadBinary reads the binary format from path (optionally .gz).
+func LoadBinary(path string) (*graph.Graph, error) {
+	rc, err := openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return ReadBinary(rc)
+}
+
+// Load loads a graph from path, auto-detecting the format: binary if
+// the magic matches, edge-list text otherwise.
+func Load(path string, opts EdgeListOptions) (*graph.Graph, error) {
+	rc, err := openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	br := bufio.NewReaderSize(rc, 1<<20)
+	head, err := br.Peek(4)
+	if err == nil && string(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return ReadEdgeList(br, opts)
+}

@@ -1,0 +1,216 @@
+package gio
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment line
+% another comment
+0 1
+1 2
+2 0
+
+0 2
+`
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 4 {
+		t.Errorf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListRemap(t *testing.T) {
+	// Sparse original ids must be densified in first-seen order.
+	in := "1000 7\n7 999999\n999999 1000\n"
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("n = %d, want 3", g.NumVertices())
+	}
+	// 1000->0, 7->1, 999999->2
+	if g.OutNeighbors(0)[0] != 1 || g.OutNeighbors(1)[0] != 2 || g.OutNeighbors(2)[0] != 0 {
+		t.Error("remapping order wrong")
+	}
+}
+
+func TestReadEdgeListTabs(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0\t1\n1\t0\n"), EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("m = %d", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n"), EdgeListOptions{}); err == nil {
+		t.Error("single-field line should error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), EdgeListOptions{}); err == nil {
+		t.Error("non-numeric should error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 -1\n"), EdgeListOptions{}); err == nil {
+		t.Error("negative id should error")
+	}
+}
+
+func TestReadEdgeListDangling(t *testing.T) {
+	in := "0 1\n" // vertex 1 dangling
+	if _, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{}); err == nil {
+		t.Error("dangling should error under default policy")
+	}
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{Dangling: graph.DanglingSelfLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(1) != 1 {
+		t.Error("self-loop repair failed")
+	}
+	g2, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{AllowDangling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.OutDegree(1) != 0 {
+		t.Error("AllowDangling should keep the dangling vertex")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 300, MeanOutDeg: 5, DegExponent: 2.1, PrefExponent: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 500, MeanOutDeg: 6, DegExponent: 2.0, PrefExponent: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip changed sizes")
+	}
+	a, b := g.EdgeSlice(), g2.EdgeSlice()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := ReadBinary(bytes.NewReader([]byte("NOPE12345678")))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := gen.Cycle(10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	_, err := ReadBinary(bytes.NewReader(data[:len(data)-4]))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat for truncation, got %v", err)
+	}
+}
+
+func TestFileRoundTripGzip(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Cycle(50)
+
+	elPath := filepath.Join(dir, "g.txt.gz")
+	if err := SaveEdgeList(elPath, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(elPath, EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 50 {
+		t.Errorf("gz edge list round trip: m = %d", g2.NumEdges())
+	}
+
+	binPath := filepath.Join(dir, "g.bin.gz")
+	if err := SaveBinary(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := LoadBinary(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != 50 {
+		t.Errorf("gz binary round trip: m = %d", g3.NumEdges())
+	}
+}
+
+func TestLoadAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Star(10)
+
+	binPath := filepath.Join(dir, "a.graph")
+	if err := SaveBinary(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := Load(binPath, EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.NumEdges() != g.NumEdges() {
+		t.Error("auto-detected binary load wrong")
+	}
+
+	txtPath := filepath.Join(dir, "a.txt")
+	if err := SaveEdgeList(txtPath, g); err != nil {
+		t.Fatal(err)
+	}
+	gt, err := Load(txtPath, EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.NumEdges() != g.NumEdges() {
+		t.Error("auto-detected text load wrong")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/path/graph.txt", EdgeListOptions{}); err == nil {
+		t.Error("missing file should error")
+	}
+}

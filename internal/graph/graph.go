@@ -1,0 +1,413 @@
+// Package graph provides an immutable directed graph in compressed
+// sparse row (CSR) form, with both out- and in-adjacency, plus the
+// builder and statistics utilities used across the FrogWild
+// reproduction.
+//
+// Vertices are dense uint32 identifiers in [0, NumVertices). The paper
+// (Section 2.1) assumes every vertex has at least one successor
+// (dout(j) > 0); the Builder offers explicit policies for repairing
+// dangling vertices so that assumption can be enforced at load time.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: a graph with n vertices
+// uses IDs 0..n-1.
+type VertexID = uint32
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// Graph is an immutable directed graph stored as CSR in both
+// directions. Construct one with a Builder or the gen/gio packages.
+type Graph struct {
+	n int
+
+	// Out-adjacency: successors of v are outAdj[outOff[v]:outOff[v+1]].
+	outOff []int64
+	outAdj []VertexID
+
+	// In-adjacency: predecessors of v are inAdj[inOff[v]:inOff[v+1]].
+	inOff []int64
+	inAdj []VertexID
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outAdj)) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outOff[v+1] - g.outOff[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutNeighbors returns the successors of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InNeighbors returns the predecessors of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// Edges calls fn for every edge in src order. It stops early if fn
+// returns false.
+func (g *Graph) Edges(fn func(e Edge) bool) {
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.OutNeighbors(VertexID(v)) {
+			if !fn(Edge{VertexID(v), d}) {
+				return
+			}
+		}
+	}
+}
+
+// EdgeSlice materializes all edges. Intended for tests and small graphs.
+func (g *Graph) EdgeSlice() []Edge {
+	es := make([]Edge, 0, g.NumEdges())
+	g.Edges(func(e Edge) bool {
+		es = append(es, e)
+		return true
+	})
+	return es
+}
+
+// DanglingPolicy selects how the Builder repairs vertices with
+// out-degree zero, which the FrogWild process cannot handle (a frog on a
+// dangling vertex would have nowhere to jump).
+type DanglingPolicy int
+
+const (
+	// DanglingKeep leaves dangling vertices untouched; Build returns an
+	// error if any exist unless the caller opts in with AllowDangling.
+	DanglingKeep DanglingPolicy = iota
+	// DanglingSelfLoop adds a self-loop to each dangling vertex.
+	DanglingSelfLoop
+	// DanglingBackEdges adds reverse edges from each dangling vertex to
+	// its predecessors (a common web-graph repair: a sink page "links
+	// back" to its referrers). Vertices with no predecessors either get
+	// a self-loop.
+	DanglingBackEdges
+)
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n        int
+	edges    []Edge
+	dedup    bool
+	noLoops  bool
+	dangling DanglingPolicy
+	allowD   bool
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// Dedup makes Build remove duplicate edges.
+func (b *Builder) Dedup() *Builder { b.dedup = true; return b }
+
+// NoSelfLoops makes Build drop self-loop edges (except ones added by a
+// dangling policy).
+func (b *Builder) NoSelfLoops() *Builder { b.noLoops = true; return b }
+
+// Dangling sets the dangling-vertex repair policy.
+func (b *Builder) Dangling(p DanglingPolicy) *Builder { b.dangling = p; return b }
+
+// AllowDangling permits Build to succeed with dangling vertices under
+// DanglingKeep. The exact PageRank solver handles dangling mass; the
+// distributed random-walk engine does not.
+func (b *Builder) AllowDangling() *Builder { b.allowD = true; return b }
+
+// AddEdge appends a directed edge. It panics if an endpoint is out of
+// range.
+func (b *Builder) AddEdge(src, dst VertexID) *Builder {
+	if int(src) >= b.n || int(dst) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", src, dst, b.n))
+	}
+	b.edges = append(b.edges, Edge{src, dst})
+	return b
+}
+
+// AddEdges appends a batch of edges.
+func (b *Builder) AddEdges(es []Edge) *Builder {
+	for _, e := range es {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b
+}
+
+// NumBufferedEdges reports how many edges have been added so far.
+func (b *Builder) NumBufferedEdges() int { return len(b.edges) }
+
+// ErrDangling is returned by Build when dangling vertices exist under
+// DanglingKeep without AllowDangling.
+var ErrDangling = errors.New("graph: dangling vertices present (out-degree zero)")
+
+// Build produces the immutable Graph. The Builder must not be reused
+// afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	edges := b.edges
+	if b.noLoops {
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	if b.dedup {
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Src != edges[j].Src {
+				return edges[i].Src < edges[j].Src
+			}
+			return edges[i].Dst < edges[j].Dst
+		})
+		kept := edges[:0]
+		var prev Edge
+		for i, e := range edges {
+			if i == 0 || e != prev {
+				kept = append(kept, e)
+			}
+			prev = e
+		}
+		edges = kept
+	}
+
+	// Dangling repair needs degrees; compute out-degree first.
+	outDeg := make([]int64, b.n)
+	for _, e := range edges {
+		outDeg[e.Src]++
+	}
+	switch b.dangling {
+	case DanglingKeep:
+		if !b.allowD {
+			for v := 0; v < b.n; v++ {
+				if outDeg[v] == 0 {
+					return nil, fmt.Errorf("%w: e.g. vertex %d", ErrDangling, v)
+				}
+			}
+		}
+	case DanglingSelfLoop:
+		for v := 0; v < b.n; v++ {
+			if outDeg[v] == 0 {
+				edges = append(edges, Edge{VertexID(v), VertexID(v)})
+				outDeg[v]++
+			}
+		}
+	case DanglingBackEdges:
+		inDeg := make([]int32, b.n)
+		for _, e := range edges {
+			inDeg[e.Dst]++
+		}
+		preds := make(map[VertexID][]VertexID)
+		for v := 0; v < b.n; v++ {
+			if outDeg[v] == 0 {
+				preds[VertexID(v)] = nil
+			}
+		}
+		if len(preds) > 0 {
+			for _, e := range edges {
+				if _, ok := preds[e.Dst]; ok {
+					preds[e.Dst] = append(preds[e.Dst], e.Src)
+				}
+			}
+			for v, ps := range preds {
+				if len(ps) == 0 {
+					edges = append(edges, Edge{v, v})
+					outDeg[v]++
+					continue
+				}
+				for _, p := range ps {
+					edges = append(edges, Edge{v, p})
+				}
+				outDeg[v] += int64(len(ps))
+			}
+		}
+	}
+
+	return fromEdges(b.n, edges), nil
+}
+
+// MustBuild is Build that panics on error. Intended for tests and
+// generators that guarantee no dangling vertices.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// fromEdges constructs CSR adjacency in both directions by counting
+// sort, O(n + m).
+func fromEdges(n int, edges []Edge) *Graph {
+	g := &Graph{
+		n:      n,
+		outOff: make([]int64, n+1),
+		inOff:  make([]int64, n+1),
+		outAdj: make([]VertexID, len(edges)),
+		inAdj:  make([]VertexID, len(edges)),
+	}
+	for _, e := range edges {
+		g.outOff[e.Src+1]++
+		g.inOff[e.Dst+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	outPos := make([]int64, n)
+	inPos := make([]int64, n)
+	copy(outPos, g.outOff[:n])
+	copy(inPos, g.inOff[:n])
+	for _, e := range edges {
+		g.outAdj[outPos[e.Src]] = e.Dst
+		outPos[e.Src]++
+		g.inAdj[inPos[e.Dst]] = e.Src
+		inPos[e.Dst]++
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list with no policies
+// applied. Endpoints out of range cause a panic.
+func FromEdges(n int, edges []Edge) *Graph {
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", e.Src, e.Dst, n))
+		}
+	}
+	cp := make([]Edge, len(edges))
+	copy(cp, edges)
+	return fromEdges(n, cp)
+}
+
+// Stats summarizes a graph's degree structure.
+type Stats struct {
+	NumVertices int
+	NumEdges    int64
+	MinOutDeg   int
+	MaxOutDeg   int
+	MaxInDeg    int
+	MeanDeg     float64
+	// GiniOut measures out-degree skew in [0,1]; power-law graphs score
+	// high (> 0.5), regular graphs score 0.
+	GiniOut  float64
+	Dangling int // vertices with out-degree zero
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{NumVertices: g.n, NumEdges: g.NumEdges(), MinOutDeg: math.MaxInt}
+	if g.n == 0 {
+		s.MinOutDeg = 0
+		return s
+	}
+	degs := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		d := g.OutDegree(VertexID(v))
+		degs[v] = d
+		if d < s.MinOutDeg {
+			s.MinOutDeg = d
+		}
+		if d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if d == 0 {
+			s.Dangling++
+		}
+		if id := g.InDegree(VertexID(v)); id > s.MaxInDeg {
+			s.MaxInDeg = id
+		}
+	}
+	s.MeanDeg = float64(g.NumEdges()) / float64(g.n)
+	// Gini coefficient over the sorted degree sequence.
+	sort.Ints(degs)
+	var cum, weighted float64
+	for i, d := range degs {
+		cum += float64(d)
+		weighted += float64(d) * float64(i+1)
+	}
+	if cum > 0 {
+		n := float64(g.n)
+		s.GiniOut = (2*weighted)/(n*cum) - (n+1)/n
+	}
+	return s
+}
+
+// Validate checks internal CSR invariants; it is used by property tests
+// and the binary loader. It returns nil if the graph is well-formed.
+func (g *Graph) Validate() error {
+	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
+		return errors.New("graph: offset array length mismatch")
+	}
+	if g.outOff[0] != 0 || g.inOff[0] != 0 {
+		return errors.New("graph: offsets must start at 0")
+	}
+	for v := 0; v < g.n; v++ {
+		if g.outOff[v+1] < g.outOff[v] || g.inOff[v+1] < g.inOff[v] {
+			return fmt.Errorf("graph: non-monotone offsets at vertex %d", v)
+		}
+	}
+	if g.outOff[g.n] != int64(len(g.outAdj)) || g.inOff[g.n] != int64(len(g.inAdj)) {
+		return errors.New("graph: offset totals do not match adjacency lengths")
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return errors.New("graph: out/in edge count mismatch")
+	}
+	for _, d := range g.outAdj {
+		if int(d) >= g.n {
+			return fmt.Errorf("graph: out-neighbor %d out of range", d)
+		}
+	}
+	for _, s := range g.inAdj {
+		if int(s) >= g.n {
+			return fmt.Errorf("graph: in-neighbor %d out of range", s)
+		}
+	}
+	// Edge multiset must agree between directions.
+	var outSum, inSum uint64
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.OutNeighbors(VertexID(v)) {
+			outSum += edgeHash(VertexID(v), d)
+		}
+		for _, s := range g.InNeighbors(VertexID(v)) {
+			inSum += edgeHash(s, VertexID(v))
+		}
+	}
+	if outSum != inSum {
+		return errors.New("graph: out/in adjacency encode different edge multisets")
+	}
+	return nil
+}
+
+func edgeHash(s, d VertexID) uint64 {
+	x := uint64(s)<<32 | uint64(d)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func tinyEnv() *Env { return NewEnv(ScaleTiny, 12345) }
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{
+		"tiny": ScaleTiny, "": ScaleSmall, "small": ScaleSmall,
+		"medium": ScaleMedium, "large": ScaleLarge,
+	} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale should error")
+	}
+	if ScaleTiny.String() != "tiny" || ScaleLarge.String() != "large" {
+		t.Error("scale strings wrong")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", XLabel: "k", Columns: []string{"a", "b"}}
+	tab.AddRow("10", 0.5, 1234567.0)
+	tab.AddRow("20", 0.25, 3e-7)
+	tab.AddNote("note %d", 1)
+	out := tab.String()
+	for _, want := range []string{"== x: demo ==", "k", "a", "b", "0.5000", "1.235e+06", "# note 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := tab.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "k,a,b") || !strings.Contains(csv.String(), "10,0.5,") {
+		t.Errorf("csv wrong:\n%s", csv.String())
+	}
+}
+
+func TestTableColumn(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("r1", 1, 2)
+	tab.AddRow("r2", 3, 4)
+	col, ok := tab.Column("b")
+	if !ok || len(col) != 2 || col[0] != 2 || col[1] != 4 {
+		t.Errorf("Column(b) = %v, %v", col, ok)
+	}
+	if _, ok := tab.Column("zzz"); ok {
+		t.Error("missing column should return false")
+	}
+}
+
+func TestWorkloadsBuildOnceAndCache(t *testing.T) {
+	e := tinyEnv()
+	w1, err := e.Twitter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := e.Twitter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Error("workload not cached")
+	}
+	lj, err := e.LiveJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lj.Graph.NumVertices() >= w1.Graph.NumVertices() {
+		t.Error("LJ workload should be smaller than Twitter workload")
+	}
+	lay1, err := e.Layout(w1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay2, err := e.Layout(w1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay1 != lay2 {
+		t.Error("layout not cached")
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	e := tinyEnv()
+	if _, err := Figure(e, 0); err == nil {
+		t.Error("figure 0 should error")
+	}
+	if _, err := Figure(e, 9); err == nil {
+		t.Error("figure 9 should error")
+	}
+}
+
+// TestFig8LinearInWalkers checks the paper's Figure 8 shape: network
+// bytes grow roughly linearly with the walker count.
+func TestFig8LinearInWalkers(t *testing.T) {
+	e := tinyEnv()
+	tables, err := Fig8(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	col, ok := tab.Column("network bytes")
+	if !ok || len(col) < 3 {
+		t.Fatalf("missing network column: %+v", tab)
+	}
+	// Factors are 0.5..1.75: last/first walker ratio is 3.5; network
+	// ratio should be within [2, 5.5] for "roughly linear".
+	ratio := col[len(col)-1] / col[0]
+	if ratio < 2 || ratio > 5.5 {
+		t.Errorf("network scaling ratio %v not ≈ 3.5 (linear in walkers)", ratio)
+	}
+	for i := 1; i < len(col); i++ {
+		if col[i] < col[i-1] {
+			t.Errorf("network bytes not monotone in walkers at row %d", i)
+		}
+	}
+}
+
+// TestFig5ShapeFrogWildFaster checks Figure 5's claim: FrogWild beats
+// the sparsification baseline on running time at comparable accuracy.
+func TestFig5ShapeFrogWildFaster(t *testing.T) {
+	e := tinyEnv()
+	tables, err := Fig5(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	times, _ := tab.Column("total time (s)")
+	acc, _ := tab.Column("mass captured k=100")
+	// Rows 0-2 are sparsify, 3-5 FrogWild.
+	var worstFW, bestSparse float64
+	bestSparse = 1e18
+	for i := 3; i < 6; i++ {
+		if times[i] > worstFW {
+			worstFW = times[i]
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if times[i] < bestSparse {
+			bestSparse = times[i]
+		}
+	}
+	if worstFW >= bestSparse {
+		t.Errorf("FrogWild (worst %.4fs) should beat sparsification (best %.4fs)", worstFW, bestSparse)
+	}
+	for i := 3; i < 6; i++ {
+		if acc[i] < 0.7 {
+			t.Errorf("FrogWild accuracy %.3f too low for comparability", acc[i])
+		}
+	}
+}
+
+// TestFig2ShapeAccuracy checks Figure 2's headline: FrogWild at ps=1
+// and 0.7 matches or beats GL PR 1 iteration on captured mass. The
+// paper runs N=800K walkers against k ≤ 1000 (N/k ≥ 800); at tiny
+// scale the walker budget is n/6, so the comparison is only meaningful
+// on rows with enough samples per reported vertex — we assert where
+// k ≤ N/10 and merely require sane values elsewhere.
+func TestFig2ShapeAccuracy(t *testing.T) {
+	e := tinyEnv()
+	w, err := e.Twitter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Fig2(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := tables[0]
+	gl1, _ := mass.Column("GLPR 1it")
+	fw1, _ := mass.Column("FW ps=1")
+	fw07, _ := mass.Column("FW ps=0.7")
+	for i := range gl1 {
+		var k int
+		if _, err := fmt.Sscanf(mass.Rows[i].Label, "%d", &k); err != nil {
+			t.Fatal(err)
+		}
+		if fw1[i] <= 0 || fw1[i] > 1+1e-9 || fw07[i] <= 0 || fw07[i] > 1+1e-9 {
+			t.Errorf("row k=%d: accuracy out of (0,1]", k)
+		}
+		if k > w.Walkers/10 {
+			continue // outside the paper's sampling regime at this scale
+		}
+		if fw1[i] < gl1[i]-0.02 {
+			t.Errorf("k=%d: FW ps=1 (%.3f) should match/beat GLPR 1it (%.3f)", k, fw1[i], gl1[i])
+		}
+		if fw07[i] < gl1[i]-0.05 {
+			t.Errorf("k=%d: FW ps=0.7 (%.3f) should be near GLPR 1it (%.3f)", k, fw07[i], gl1[i])
+		}
+	}
+}
+
+func TestTradeoffTablePrints(t *testing.T) {
+	e := tinyEnv()
+	tables, err := Fig7(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].String()
+	if !strings.Contains(out, "GLPR exact") || !strings.Contains(out, "FW it=4 ps=0.4") {
+		t.Errorf("tradeoff table missing rows:\n%s", out)
+	}
+}
+
+// TestFig1ShapeNetworkOrdering checks Figure 1(c)'s ordering at every
+// machine count: GLPR exact > GLPR 2it > GLPR 1it > FW ps=1 > FW ps=0.1.
+func TestFig1ShapeNetworkOrdering(t *testing.T) {
+	e := tinyEnv()
+	tables, err := Fig1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := tables[2] // fig1c
+	cols := []string{"GLPR exact", "GLPR 2it", "GLPR 1it", "FW ps=1", "FW ps=0.1"}
+	series := make([][]float64, len(cols))
+	for i, c := range cols {
+		v, ok := net.Column(c)
+		if !ok {
+			t.Fatalf("missing column %s", c)
+		}
+		series[i] = v
+	}
+	for row := range series[0] {
+		for i := 1; i < len(series); i++ {
+			if series[i][row] >= series[i-1][row] {
+				t.Errorf("row %d: %s (%.0f) should be below %s (%.0f)",
+					row, cols[i], series[i][row], cols[i-1], series[i-1][row])
+			}
+		}
+	}
+	// FrogWild's network advantage over exact GL PR should be large
+	// (the paper reports orders of magnitude).
+	if ratio := series[0][0] / series[3][0]; ratio < 20 {
+		t.Errorf("GLPR-exact/FW-ps1 network ratio %.1f, want ≫ 1", ratio)
+	}
+	// Per-iteration time: FrogWild faster than GL PR exact.
+	perIter := tables[0]
+	gl, _ := perIter.Column("GLPR exact")
+	fw, _ := perIter.Column("FW ps=1")
+	for row := range gl {
+		if fw[row] >= gl[row] {
+			t.Errorf("row %d: FW per-iter %.5f not below GLPR %.5f", row, fw[row], gl[row])
+		}
+	}
+}
+
+// TestFig6ShapeAccuracyRisesWithWalkers checks Figure 6(a)'s headline:
+// at ps=1 the captured mass increases (weakly) with walker count, and
+// time grows with iterations at every ps (6d).
+func TestFig6ShapeAccuracyRisesWithWalkers(t *testing.T) {
+	e := tinyEnv()
+	tables, err := Fig6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := tables[0].Column("FW ps=1") // fig6a
+	first, last := acc[0], acc[len(acc)-1]
+	if last < first-0.02 {
+		t.Errorf("accuracy fell across walker sweep: %.3f -> %.3f", first, last)
+	}
+	timeByIt := tables[3] // fig6d
+	for _, col := range timeByIt.Columns {
+		v, _ := timeByIt.Column(col)
+		for i := 1; i < len(v); i++ {
+			if v[i] <= v[i-1] {
+				t.Errorf("%s: time not increasing with iterations at row %d", col, i)
+			}
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	e := tinyEnv()
+	tables, err := Ablations(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("want 3 ablation tables, got %d", len(tables))
+	}
+	// Ingress ablation: oblivious and hdrf must beat random replication.
+	ing := tables[0]
+	repl, _ := ing.Column("replication")
+	if repl[1] >= repl[0] || repl[3] >= repl[0] {
+		t.Errorf("greedy ingress should beat random replication: %v", repl)
+	}
+	// Erasure ablation: independent erasures lose frogs at ps=0.1.
+	er := tables[2]
+	lost, _ := er.Column("lost frog fraction")
+	if lost[0] != 0 || lost[1] != 0 {
+		t.Error("at-least-one must not lose frogs")
+	}
+	if lost[3] <= 0 {
+		t.Error("independent erasures at ps=0.1 must lose frogs")
+	}
+}

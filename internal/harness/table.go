@@ -1,0 +1,180 @@
+// Package harness defines the experiments that regenerate every figure
+// of the FrogWild paper's evaluation (Section 3) on the simulated
+// cluster, and the result tables they emit. Each FigN function mirrors
+// one paper figure: same workloads (scaled), same sweeps, same metrics.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Row is one labeled line of results.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Table is a printable experiment result: one row per x-axis point, one
+// column per series, matching the paper's plots.
+type Table struct {
+	// ID is the experiment id (e.g. "fig1a").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the row dimension.
+	XLabel string
+	// Columns names the series.
+	Columns []string
+	// Rows holds the results.
+	Rows []Row
+	// Notes carries free-form annotations (workload sizes, shape
+	// observations).
+	Notes []string
+}
+
+// AddRow appends a labeled row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// AddNote appends an annotation line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// formatCell renders a value compactly: large magnitudes in scientific
+// notation, small ones with sensible precision.
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	// Compute column widths.
+	headers := append([]string{t.XLabel}, t.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, row := range t.Rows {
+		cells[ri] = make([]string, len(headers))
+		cells[ri][0] = row.Label
+		if len(row.Label) > widths[0] {
+			widths[0] = len(row.Label)
+		}
+		for ci, v := range row.Values {
+			s := formatCell(v)
+			cells[ri][ci+1] = s
+			if ci+1 < len(widths) && len(s) > widths[ci+1] {
+				widths[ci+1] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) string {
+		var b strings.Builder
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], p)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	for _, row := range cells {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table via Fprint.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s,%s\n", csvEscape(t.XLabel), strings.Join(mapEscape(t.Columns), ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		parts := make([]string, 0, len(row.Values)+1)
+		parts = append(parts, csvEscape(row.Label))
+		for _, v := range row.Values {
+			parts = append(parts, fmt.Sprintf("%g", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func mapEscape(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = csvEscape(s)
+	}
+	return out
+}
+
+// Column returns the values of the named column across rows, in row
+// order. It returns false if the column does not exist.
+func (t *Table) Column(name string) ([]float64, bool) {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		if idx < len(r.Values) {
+			out = append(out, r.Values[idx])
+		} else {
+			out = append(out, math.NaN())
+		}
+	}
+	return out, true
+}

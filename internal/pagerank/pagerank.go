@@ -1,0 +1,157 @@
+// Package pagerank computes the exact PageRank vector by serial power
+// iteration. It provides the ground truth π against which FrogWild's
+// estimator and the GraphLab-PR baseline are evaluated (Definition 1 of
+// the paper: π is the principal right eigenvector of
+// Q = (1-pT)·P + pT·(1/n)·1).
+package pagerank
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// DefaultTeleport is the conventional teleportation probability; the
+// paper fixes pT = 0.15 throughout.
+const DefaultTeleport = 0.15
+
+// Options configures the power-iteration solver.
+type Options struct {
+	// Teleport is pT; defaults to DefaultTeleport when zero.
+	Teleport float64
+	// Tolerance is the L1 change between iterations below which the
+	// solver stops. Defaults to 1e-12 when zero.
+	Tolerance float64
+	// MaxIterations caps the iteration count. Defaults to 500 when zero.
+	MaxIterations int
+}
+
+// Result holds the converged PageRank vector and solver diagnostics.
+type Result struct {
+	// Rank is π: Rank[v] is the PageRank of v; sums to 1.
+	Rank []float64
+	// Iterations actually performed.
+	Iterations int
+	// Residual is the final L1 change between iterations.
+	Residual float64
+	// Converged reports whether Residual fell below tolerance before
+	// MaxIterations was reached.
+	Converged bool
+}
+
+// Exact runs power iteration on Q until convergence. Dangling vertices
+// (out-degree zero) are handled by spreading their mass uniformly, the
+// standard correction; graphs produced by this repo's generators have
+// none.
+func Exact(g *graph.Graph, opts Options) (*Result, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, errors.New("pagerank: empty graph")
+	}
+	pT := opts.Teleport
+	if pT == 0 {
+		pT = DefaultTeleport
+	}
+	if pT < 0 || pT > 1 {
+		return nil, fmt.Errorf("pagerank: teleport %v out of [0,1]", pT)
+	}
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 1e-12
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 500
+	}
+
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	uniform := 1 / float64(n)
+	for i := range cur {
+		cur[i] = uniform
+	}
+
+	res := &Result{}
+	for iter := 1; iter <= maxIter; iter++ {
+		// next = (1-pT)·P·cur + (pT + (1-pT)·danglingMass)·u
+		danglingMass := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			mass := cur[v]
+			outs := g.OutNeighbors(uint32(v))
+			if len(outs) == 0 {
+				danglingMass += mass
+				continue
+			}
+			share := mass / float64(len(outs))
+			for _, d := range outs {
+				next[d] += share
+			}
+		}
+		base := pT*uniform + (1-pT)*danglingMass*uniform
+		delta := 0.0
+		for i := range next {
+			next[i] = (1-pT)*next[i] + base
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		res.Iterations = iter
+		res.Residual = delta
+		if delta < tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Rank = cur
+	return res, nil
+}
+
+// Iterate runs exactly k power iterations from the uniform vector and
+// returns the (possibly unconverged) iterate. This models "GraphLab PR
+// run for k iterations", the paper's reduced-iterations heuristic, in
+// its idealized serial form.
+func Iterate(g *graph.Graph, k int, teleport float64) (*Result, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("pagerank: negative iteration count %d", k)
+	}
+	r, err := Exact(g, Options{Teleport: teleport, Tolerance: math.SmallestNonzeroFloat64, MaxIterations: maxInt(k, 1)})
+	if err != nil {
+		return nil, err
+	}
+	if k == 0 {
+		// The zero-iteration "estimate" is the uniform vector.
+		n := g.NumVertices()
+		u := make([]float64, n)
+		for i := range u {
+			u[i] = 1 / float64(n)
+		}
+		return &Result{Rank: u}, nil
+	}
+	return r, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Validate checks that v is a probability distribution to within eps.
+func Validate(v []float64, eps float64) error {
+	sum := 0.0
+	for i, x := range v {
+		if x < -eps || math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("pagerank: entry %d = %v invalid", i, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > eps {
+		return fmt.Errorf("pagerank: sums to %v, want 1", sum)
+	}
+	return nil
+}

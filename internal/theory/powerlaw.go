@@ -1,0 +1,58 @@
+package theory
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// FitPowerLawMLE estimates the exponent θ of a power-law tail
+// P(X = x) ∝ x^(-θ) from the observations ≥ xmin, using the standard
+// continuous maximum-likelihood estimator (Clauset, Shalizi & Newman):
+//
+//	θ̂ = 1 + n / Σ ln(x_i / (xmin − 1/2))
+//
+// (the −1/2 shift is the usual discrete correction). It returns the
+// estimate and the number of tail observations used.
+//
+// The paper's Proposition 7 assumes PageRank values follow a power law
+// with θ ≈ 2.2 (citing Becchetti & Castillo); tests use this fitter to
+// confirm the synthetic workloads put the experiments in that regime.
+func FitPowerLawMLE(values []float64, xmin float64) (theta float64, tailSize int, err error) {
+	if xmin <= 0.5 {
+		return 0, 0, errors.New("theory: xmin must exceed 0.5")
+	}
+	var sum float64
+	for _, x := range values {
+		if x >= xmin {
+			sum += math.Log(x / (xmin - 0.5))
+			tailSize++
+		}
+	}
+	if tailSize < 10 {
+		return 0, tailSize, errors.New("theory: too few tail observations (need ≥ 10)")
+	}
+	if sum <= 0 {
+		return 0, tailSize, errors.New("theory: degenerate tail")
+	}
+	return 1 + float64(tailSize)/sum, tailSize, nil
+}
+
+// TailXMin picks a pragmatic xmin for FitPowerLawMLE: the value at the
+// given upper quantile (e.g. 0.1 keeps the top 10% as the tail).
+// Returns an error on empty input or out-of-range quantile.
+func TailXMin(values []float64, upperQuantile float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, errors.New("theory: no values")
+	}
+	if upperQuantile <= 0 || upperQuantile >= 1 {
+		return 0, errors.New("theory: quantile out of (0,1)")
+	}
+	cp := append([]float64(nil), values...)
+	sort.Float64s(cp)
+	idx := int(float64(len(cp)) * (1 - upperQuantile))
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx], nil
+}

@@ -1,0 +1,223 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frogwild"
+	"repro/internal/graph/gen"
+	"repro/internal/pagerank"
+	"repro/internal/topk"
+)
+
+// TestLemma16ProcessEquivalence verifies the paper's Lemma 16: the
+// fixed-step teleporting walk (Process 11) and the truncated-geometric
+// plain walk (Process 15) produce identical sampling distributions.
+func TestLemma16ProcessEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		seed uint64
+	}{
+		{"powerlaw", 200, 1},
+		{"powerlaw2", 97, 5},
+	}
+	for _, c := range cases {
+		g, err := gen.PowerLaw(gen.PowerLawConfig{
+			N: c.n, MeanOutDeg: 5, DegExponent: 2.1, PrefExponent: 1, Seed: c.seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, steps := range []int{0, 1, 3, 8} {
+			a, err := WalkDistribution(g, steps, 0.15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := TruncatedGeometricDistribution(g, steps, 0.15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range a {
+				if math.Abs(a[v]-b[v]) > 1e-12 {
+					t.Fatalf("%s t=%d: processes differ at vertex %d: %v vs %v",
+						c.name, steps, v, a[v], b[v])
+				}
+			}
+		}
+	}
+	// Also on the cycle, where mixing is slow and the tail term
+	// matters.
+	cyc := gen.Cycle(10)
+	a, _ := WalkDistribution(cyc, 5, 0.15)
+	b, _ := TruncatedGeometricDistribution(cyc, 5, 0.15)
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-12 {
+			t.Fatalf("cycle: processes differ at %d", v)
+		}
+	}
+}
+
+// TestLemma14ContrastBound verifies χ²(π_t; π) ≤ ((1−pT)/pT)(1−pT)^t.
+func TestLemma14ContrastBound(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 300, MeanOutDeg: 6, DegExponent: 2.0, PrefExponent: 1.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := pagerank.Exact(g, pagerank.Options{Tolerance: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pT = 0.15
+	for _, steps := range []int{0, 1, 2, 4, 8, 16} {
+		pit, err := WalkDistribution(g, steps, pT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chi2 := topk.ChiSquaredContrast(pit, exact.Rank)
+		bound := (1 - pT) / pT * math.Pow(1-pT, float64(steps))
+		if chi2 > bound+1e-9 {
+			t.Fatalf("t=%d: χ² = %v exceeds Lemma 14 bound %v", steps, chi2, bound)
+		}
+	}
+}
+
+// TestMixingLossLemma17 verifies the Lemma 17 captured-mass bound:
+// µk(π_t) ≥ µk(π) − sqrt((1−pT)^{t+1}/pT).
+func TestMixingLossLemma17(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 400, MeanOutDeg: 8, DegExponent: 2.0, PrefExponent: 1.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := pagerank.Exact(g, pagerank.Options{Tolerance: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pT, k = 0.15, 30
+	opt := topk.OptimalMass(exact.Rank, k)
+	for _, steps := range []int{1, 2, 4, 8} {
+		pit, err := WalkDistribution(g, steps, pT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		captured := topk.CapturedMass(exact.Rank, pit, k)
+		loss := math.Sqrt(math.Pow(1-pT, float64(steps+1)) / pT)
+		if captured < opt-loss-1e-9 {
+			t.Fatalf("t=%d: captured %v < µk %v − loss %v", steps, captured, opt, loss)
+		}
+	}
+}
+
+// TestWalkDistributionConvergesToPageRank: Q^t·u → π as t grows.
+func TestWalkDistributionConvergesToPageRank(t *testing.T) {
+	g, err := gen.PowerLaw(gen.LiveJournalLike(300, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := pagerank.Exact(g, pagerank.Options{Tolerance: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, steps := range []int{1, 4, 16, 64} {
+		pit, err := WalkDistribution(g, steps, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := topk.L1Distance(pit, exact.Rank)
+		if d > prev+1e-12 {
+			t.Fatalf("L1 to π increased at t=%d: %v > %v", steps, d, prev)
+		}
+		prev = d
+	}
+	if prev > 1e-3 {
+		t.Errorf("64 steps still %v away from π in L1", prev)
+	}
+}
+
+// TestSerialWalkMatchesAnalyticDistribution: the Monte-Carlo serial
+// reference must sample from the analytic truncated-geometric
+// distribution (χ² goodness-of-fit, loose bound).
+func TestSerialWalkMatchesAnalyticDistribution(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 100, MeanOutDeg: 5, DegExponent: 2.1, PrefExponent: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const walkers, steps = 400000, 5
+	counts, err := frogwild.SerialWalk(g, walkers, steps, 0.15, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TruncatedGeometricDistribution(g, steps, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pearson χ² statistic against expected counts; dof ≈ 99. A sound
+	// sampler stays below ~200 with overwhelming probability.
+	chi2 := 0.0
+	for v, c := range counts {
+		expected := want[v] * walkers
+		if expected < 1 {
+			continue
+		}
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 250 {
+		t.Fatalf("serial walk χ² = %v against analytic distribution (dof≈99)", chi2)
+	}
+}
+
+// TestSecondEigenvalueBound verifies |λ₂(Q)| ≤ 1 − pT (Haveliwala &
+// Kamvar; used by Lemma 14) on several graphs and teleport values.
+func TestSecondEigenvalueBound(t *testing.T) {
+	graphs := []struct {
+		name string
+		n    int
+	}{{"powerlaw", 200}, {"powerlaw-big", 600}}
+	for _, gc := range graphs {
+		g, err := gen.PowerLaw(gen.PowerLawConfig{
+			N: gc.n, MeanOutDeg: 6, DegExponent: 2.1, PrefExponent: 1, Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pT := range []float64{0.15, 0.5, 0.9} {
+			lam, err := SecondEigenvalueEstimate(g, pT, 60, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lam > 1-pT+1e-9 {
+				t.Errorf("%s pT=%v: |λ₂| estimate %v exceeds 1-pT = %v", gc.name, pT, lam, 1-pT)
+			}
+			if lam < 0 {
+				t.Errorf("negative eigenvalue estimate %v", lam)
+			}
+		}
+	}
+}
+
+// TestSecondEigenvalueTightOnCycle: on the directed n-cycle, P's
+// spectrum lies on the unit circle, so |λ₂(Q)| = 1 − pT exactly — the
+// bound is tight.
+func TestSecondEigenvalueTightOnCycle(t *testing.T) {
+	g := gen.Cycle(16)
+	lam, err := SecondEigenvalueEstimate(g, 0.15, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-0.85) > 0.01 {
+		t.Errorf("cycle |λ₂| = %v, want ≈ 0.85 (tight bound)", lam)
+	}
+}
+
+func TestSecondEigenvalueValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := SecondEigenvalueEstimate(g, 0, 10, 1); err == nil {
+		t.Error("pT=0 should error")
+	}
+	small := gen.Cycle(2)
+	if _, err := SecondEigenvalueEstimate(small, 0.15, 10, 1); err != nil {
+		t.Errorf("n=2 should work: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package theory evaluates the FrogWild paper's analytical bounds so
+// tests and tools can check the implementation against the theory:
+//
+//   - Theorem 1: the captured-mass error bound ε for the estimator π̂N
+//     under partial synchronization.
+//   - Theorem 2: the pairwise walker intersection probability bound
+//     p∩(t) ≤ 1/n + t·‖π‖∞/pT.
+//   - Proposition 7: the power-law bound on ‖π‖∞.
+//   - Remark 6: the sufficient scaling for t and N.
+package theory
+
+import (
+	"errors"
+	"math"
+)
+
+// IntersectBound returns the Theorem 2 upper bound on the probability
+// that two independent walkers meet within t steps:
+//
+//	p∩(t) ≤ 1/n + t·piMax/pT
+//
+// clamped to [0, 1].
+func IntersectBound(n int, t int, piMax, pT float64) float64 {
+	if n <= 0 || pT <= 0 {
+		return 1
+	}
+	b := 1/float64(n) + float64(t)*piMax/pT
+	return clamp01(b)
+}
+
+// PowerLawMaxBound returns the Proposition 7 style bound pair: with
+// probability at least 1 - c·n^(γ - 1/(θ-1)), the maximum PageRank
+// entry is at most n^(-γ). It returns the value bound n^(-γ) and the
+// failure-probability exponent γ - 1/(θ-1) (negative means the failure
+// probability vanishes as n grows).
+func PowerLawMaxBound(n int, theta, gamma float64) (valueBound, failureExponent float64) {
+	return math.Pow(float64(n), -gamma), gamma - 1/(theta-1)
+}
+
+// Epsilon computes the Theorem 1 error bound:
+//
+//	ε ≤ sqrt((1-pT)^(t+1)/pT) + sqrt(k/δ · (1/N + (1-ps²)·p∩(t)))
+//
+// The first term is the mixing loss from the t-step cutoff (Lemma 17);
+// the second is the sampling loss including the partial-synchronization
+// correlation penalty (Lemma 18). With probability at least 1-δ,
+// µk(π̂N) ≥ µk(π) − ε.
+type BoundParams struct {
+	PT        float64 // teleport probability
+	T         int     // walk cutoff (supersteps)
+	K         int     // top-k set size
+	Delta     float64 // failure probability
+	N         int     // number of walkers
+	PS        float64 // synchronization probability
+	Intersect float64 // p∩(t), e.g. from IntersectBound
+}
+
+// Epsilon evaluates the Theorem 1 bound. It returns an error on
+// invalid parameters.
+func Epsilon(p BoundParams) (float64, error) {
+	if p.PT <= 0 || p.PT > 1 {
+		return 0, errors.New("theory: pT out of (0,1]")
+	}
+	if p.T < 0 || p.K <= 0 || p.N <= 0 {
+		return 0, errors.New("theory: t, k, N must be positive")
+	}
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return 0, errors.New("theory: delta out of (0,1)")
+	}
+	if p.PS < 0 || p.PS > 1 {
+		return 0, errors.New("theory: ps out of [0,1]")
+	}
+	if p.Intersect < 0 || p.Intersect > 1 {
+		return 0, errors.New("theory: intersection probability out of [0,1]")
+	}
+	mixing := math.Sqrt(math.Pow(1-p.PT, float64(p.T+1)) / p.PT)
+	sampling := math.Sqrt(float64(p.K) / p.Delta *
+		(1/float64(p.N) + (1-p.PS*p.PS)*p.Intersect))
+	return mixing + sampling, nil
+}
+
+// SufficientIterations returns the Remark 6 scaling for the cutoff:
+// t = O(log 1/µk(π)), here with the explicit constant from the mixing
+// term — the smallest t that makes the mixing loss at most targetEps.
+func SufficientIterations(pT, targetEps float64) int {
+	if pT <= 0 || pT >= 1 || targetEps <= 0 {
+		return 0
+	}
+	// sqrt((1-pT)^(t+1)/pT) <= eps  ⇔  (t+1)·log(1-pT) <= log(eps²·pT)
+	t := math.Log(targetEps*targetEps*pT)/math.Log(1-pT) - 1
+	if t < 0 {
+		return 0
+	}
+	return int(math.Ceil(t))
+}
+
+// SufficientWalkers returns the Remark 6 scaling N = O(k/µk(π)²): the
+// smallest N making the pure sampling term (ps = 1) at most targetEps
+// with failure probability delta.
+func SufficientWalkers(k int, delta, targetEps float64) int {
+	if k <= 0 || delta <= 0 || delta >= 1 || targetEps <= 0 {
+		return 0
+	}
+	// sqrt(k/(δN)) <= eps  ⇔  N >= k/(δ·eps²)
+	return int(math.Ceil(float64(k) / (delta * targetEps * targetEps)))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

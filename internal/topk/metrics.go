@@ -1,0 +1,111 @@
+package topk
+
+import "math"
+
+// This file provides distribution- and ranking-comparison metrics
+// beyond the paper's two headline accuracy measures: L1 distance (used
+// in Lemma 17's argument), the χ²-contrast of Definition 12 (used by
+// the convergence analysis), and Kendall's tau over the top-k lists
+// (a standard rank-quality diagnostic).
+
+// L1Distance returns Σ|a_i − b_i|. For probability distributions this
+// is twice the total variation distance. It panics on length mismatch.
+func L1Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("topk: L1Distance length mismatch")
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum
+}
+
+// ChiSquaredContrast returns χ²(a; b) = Σ (a_i − b_i)²/b_i, the
+// contrast functional from Definition 12 of the paper. Entries where
+// b_i = 0 contribute +Inf unless a_i is also 0. It panics on length
+// mismatch.
+func ChiSquaredContrast(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("topk: ChiSquaredContrast length mismatch")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d == 0 {
+			continue
+		}
+		if b[i] == 0 {
+			return math.Inf(1)
+		}
+		sum += d * d / b[i]
+	}
+	return sum
+}
+
+// KendallTauTopK computes Kendall's tau-a rank correlation between the
+// orderings that exact and estimate induce on the union of their
+// top-k sets: +1 for perfect agreement, −1 for reversal. Vertices
+// missing from one list are ranked by that list's scores anyway (the
+// scores exist for every vertex). Returns 1 for k < 2.
+func KendallTauTopK(exact, estimate []float64, k int) float64 {
+	if k < 2 {
+		return 1
+	}
+	union := map[uint32]struct{}{}
+	for _, e := range Top(exact, k) {
+		union[e.Vertex] = struct{}{}
+	}
+	for _, e := range Top(estimate, k) {
+		union[e.Vertex] = struct{}{}
+	}
+	verts := make([]uint32, 0, len(union))
+	for v := range union {
+		verts = append(verts, v)
+	}
+	if len(verts) < 2 {
+		return 1
+	}
+	var concordant, discordant float64
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			a, b := verts[i], verts[j]
+			de := exact[a] - exact[b]
+			dv := estimate[a] - estimate[b]
+			switch {
+			case de*dv > 0:
+				concordant++
+			case de*dv < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := float64(len(verts)*(len(verts)-1)) / 2
+	return (concordant - discordant) / pairs
+}
+
+// Precision at k against a relevance threshold: the fraction of the
+// estimate's top-k whose exact score is at least the k-th exact score.
+// Unlike ExactIdentification this gives credit for picking a vertex
+// tied with the true top-k boundary.
+func PrecisionAtK(exact, estimate []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	exTop := Top(exact, k)
+	if len(exTop) == 0 {
+		return 1
+	}
+	threshold := exTop[len(exTop)-1].Score
+	hits := 0
+	est := Top(estimate, k)
+	for _, e := range est {
+		if exact[e.Vertex] >= threshold {
+			hits++
+		}
+	}
+	if len(est) == 0 {
+		return 1
+	}
+	return float64(hits) / float64(len(est))
+}

@@ -1,0 +1,147 @@
+// Package topk selects the heaviest entries of a score vector and
+// implements the paper's two accuracy metrics (Section 2.1.1):
+//
+//   - Captured mass µk (Definition 2): the true PageRank mass of the
+//     k-set an estimate would report.
+//   - Exact identification: the fraction of the reported top-k that is
+//     also in the true top-k.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Entry pairs a vertex with its score.
+type Entry struct {
+	Vertex uint32
+	Score  float64
+}
+
+// entryHeap is a min-heap over scores (ties broken by larger vertex id
+// so the heap keeps smaller ids, making selection deterministic).
+type entryHeap []Entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Vertex > h[j].Vertex
+}
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Top returns the k highest-scoring entries in descending score order.
+// Ties are broken toward smaller vertex ids, deterministically. If
+// k >= len(scores), all vertices are returned.
+func Top(scores []float64, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	h := make(entryHeap, 0, k)
+	for v, s := range scores {
+		e := Entry{Vertex: uint32(v), Score: s}
+		if len(h) < k {
+			heap.Push(&h, e)
+			continue
+		}
+		if entryLess(h[0], e) {
+			h[0] = e
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Entry, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Entry)
+	}
+	return out
+}
+
+// entryLess reports whether a ranks strictly below b (lower score, or
+// equal score and larger vertex id).
+func entryLess(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Vertex > b.Vertex
+}
+
+// Vertices extracts the vertex ids from entries, preserving order.
+func Vertices(entries []Entry) []uint32 {
+	vs := make([]uint32, len(entries))
+	for i, e := range entries {
+		vs[i] = e.Vertex
+	}
+	return vs
+}
+
+// CapturedMass computes µk(est) with respect to the true distribution
+// pi: the pi-mass of the top-k set chosen by est (Definition 2 of the
+// paper). The optimum is CapturedMass(pi, pi, k) = µk(pi).
+func CapturedMass(pi, est []float64, k int) float64 {
+	mass := 0.0
+	for _, e := range Top(est, k) {
+		mass += pi[e.Vertex]
+	}
+	return mass
+}
+
+// OptimalMass returns µk(pi), the best possible captured mass.
+func OptimalMass(pi []float64, k int) float64 {
+	return CapturedMass(pi, pi, k)
+}
+
+// NormalizedCapturedMass returns µk(est)/µk(pi) in [0,1]; this is the
+// "Mass captured" accuracy the paper plots (1.0 = perfect).
+func NormalizedCapturedMass(pi, est []float64, k int) float64 {
+	opt := OptimalMass(pi, k)
+	if opt == 0 {
+		return 1
+	}
+	return CapturedMass(pi, est, k) / opt
+}
+
+// ExactIdentification returns |top-k(est) ∩ top-k(pi)| / k, the paper's
+// second metric ("Exact identification").
+func ExactIdentification(pi, est []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	truth := make(map[uint32]struct{}, k)
+	for _, e := range Top(pi, k) {
+		truth[e.Vertex] = struct{}{}
+	}
+	hits := 0
+	for _, e := range Top(est, k) {
+		if _, ok := truth[e.Vertex]; ok {
+			hits++
+		}
+	}
+	den := k
+	if len(pi) < k {
+		den = len(pi)
+	}
+	if den == 0 {
+		return 1
+	}
+	return float64(hits) / float64(den)
+}
+
+// SortedCopy returns the scores in descending order (for inspecting
+// distribution tails in tests and tools).
+func SortedCopy(scores []float64) []float64 {
+	cp := append([]float64(nil), scores...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	return cp
+}

@@ -1,0 +1,365 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	FrogWild! – Fast PageRank Approximations on Graph Engines
+//	(Mitliagkas, Borokhovich, Dimakis, Caramanis — VLDB 2015)
+//
+// It provides:
+//
+//   - FrogWild itself: fast approximation of the top-k PageRank
+//     vertices via N discrete random walkers ("frogs") executed on a
+//     simulated vertex-cut graph engine with the paper's
+//     partial-mirror-synchronization knob ps (RunFrogWild).
+//   - The baselines the paper compares against: synchronous
+//     "GraphLab PR" power iteration on the same engine (RunGraphLabPR),
+//     uniform graph sparsification followed by PageRank
+//     (RunSparsifiedPR), and serial Monte-Carlo PageRank
+//     (RunMonteCarloPR).
+//   - Exact serial PageRank as ground truth (ExactPageRank).
+//   - Synthetic power-law graph generators standing in for the paper's
+//     Twitter/LiveJournal datasets, graph I/O, and the paper's two
+//     accuracy metrics (captured mass and exact identification).
+//
+// # Quick start
+//
+//	g, _ := repro.TwitterLikeGraph(100000, 42)
+//	res, _ := repro.RunFrogWild(g, repro.FrogWildConfig{
+//		Walkers:    g.NumVertices() / 6,
+//		Iterations: 4,
+//		PS:         0.7,
+//		Machines:   16,
+//		Seed:       42,
+//	})
+//	top := repro.TopK(res.Estimate, 20)
+//
+// Everything is deterministic under a fixed seed, uses only the
+// standard library, and runs on a laptop: the "cluster" is simulated
+// (one goroutine per machine with metered network traffic and a
+// calibrated cost model), which reproduces the paper's network, CPU and
+// accuracy comparisons in shape rather than absolute seconds.
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/frogwild"
+	"repro/internal/gas"
+	"repro/internal/glpr"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/graph/gio"
+	"repro/internal/montecarlo"
+	"repro/internal/pagerank"
+	"repro/internal/sparsify"
+	"repro/internal/theory"
+	"repro/internal/topk"
+)
+
+// Graph is an immutable directed graph in CSR form. Construct one with
+// the generators or loaders below, or from an edge list with
+// GraphFromEdges.
+type Graph = graph.Graph
+
+// Edge is a directed edge.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex; ids are dense in [0, NumVertices).
+type VertexID = graph.VertexID
+
+// GraphStats summarizes a graph's degree structure.
+type GraphStats = graph.Stats
+
+// GraphFromEdges builds a graph from an explicit edge list.
+func GraphFromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// ComputeGraphStats scans a graph and reports degree statistics.
+func ComputeGraphStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// PowerLawConfig parameterizes the Zipf configuration-model generator,
+// the stand-in for the paper's social-graph datasets.
+type PowerLawConfig = gen.PowerLawConfig
+
+// PowerLawGraph generates a directed power-law graph with no dangling
+// vertices.
+func PowerLawGraph(cfg PowerLawConfig) (*Graph, error) { return gen.PowerLaw(cfg) }
+
+// TwitterLikeGraph generates a power-law graph shaped like a scaled-
+// down Twitter follower graph (mean degree ≈ 30, strong skew).
+func TwitterLikeGraph(n int, seed uint64) (*Graph, error) {
+	return gen.PowerLaw(gen.TwitterLike(n, seed))
+}
+
+// LiveJournalLikeGraph generates a power-law graph shaped like a
+// scaled-down LiveJournal graph (mean degree ≈ 14, milder skew).
+func LiveJournalLikeGraph(n int, seed uint64) (*Graph, error) {
+	return gen.PowerLaw(gen.LiveJournalLike(n, seed))
+}
+
+// RMATGraph generates a Graph500-style recursive-matrix graph with
+// 2^scale vertices and edgeFactor·2^scale edges.
+func RMATGraph(scale, edgeFactor int, seed uint64) (*Graph, error) {
+	return gen.RMAT(gen.DefaultRMAT(scale, edgeFactor, seed))
+}
+
+// ErdosRenyiGraph generates a uniform random directed graph with n
+// vertices and m edges (dangling vertices repaired with self-loops).
+func ErdosRenyiGraph(n int, m int64, seed uint64) (*Graph, error) {
+	return gen.ErdosRenyi(n, m, seed)
+}
+
+// LoadGraph reads a graph from disk, auto-detecting the format:
+// the package's binary format or SNAP-style edge-list text ("src dst"
+// per line, '#' comments). Files ending in .gz are decompressed.
+// Dangling vertices are repaired with self-loops so the result is
+// always FrogWild-ready.
+func LoadGraph(path string) (*Graph, error) {
+	return gio.Load(path, gio.EdgeListOptions{Dangling: graph.DanglingSelfLoop})
+}
+
+// SaveGraph writes a graph as edge-list text (gzipped when the path
+// ends in .gz).
+func SaveGraph(path string, g *Graph) error { return gio.SaveEdgeList(path, g) }
+
+// SaveGraphBinary writes a graph in the compact binary format
+// (gzipped when the path ends in .gz); LoadGraph reads it back.
+func SaveGraphBinary(path string, g *Graph) error { return gio.SaveBinary(path, g) }
+
+// PageRankOptions configures the exact serial solver.
+type PageRankOptions = pagerank.Options
+
+// PageRankResult is the exact solver's output.
+type PageRankResult = pagerank.Result
+
+// DefaultTeleport is the conventional teleportation probability 0.15.
+const DefaultTeleport = pagerank.DefaultTeleport
+
+// ExactPageRank computes the converged PageRank vector by serial power
+// iteration — the ground truth for the approximation metrics.
+func ExactPageRank(g *Graph, opts PageRankOptions) (*PageRankResult, error) {
+	return pagerank.Exact(g, opts)
+}
+
+// IteratePageRank runs exactly k serial power iterations (the paper's
+// idealized "reduced iterations" heuristic).
+func IteratePageRank(g *Graph, k int, teleport float64) (*PageRankResult, error) {
+	return pagerank.Iterate(g, k, teleport)
+}
+
+// FrogWildConfig configures a FrogWild run; see the frogwild package
+// documentation for field semantics.
+type FrogWildConfig = frogwild.Config
+
+// FrogWildResult is a FrogWild run's output: per-vertex tallies, the
+// π̂N estimate, and engine statistics (network bytes by class,
+// simulated time, CPU).
+type FrogWildResult = frogwild.Result
+
+// ScatterMode selects FrogWild's frog-routing variant.
+type ScatterMode = frogwild.ScatterMode
+
+// FrogWild scatter modes.
+const (
+	// ScatterSplit conserves frogs exactly (the paper's shipped
+	// implementation).
+	ScatterSplit = frogwild.ScatterSplit
+	// ScatterBinomial draws independent per-edge binomials (the
+	// paper's analyzed model).
+	ScatterBinomial = frogwild.ScatterBinomial
+)
+
+// RunFrogWild executes the FrogWild process on the simulated
+// vertex-cut cluster and returns the top-PageRank estimate.
+func RunFrogWild(g *Graph, cfg FrogWildConfig) (*FrogWildResult, error) {
+	return frogwild.Run(g, cfg)
+}
+
+// SerialFrogWalk runs the single-machine reference implementation of
+// the FrogWild walk process and returns per-vertex tallies.
+func SerialFrogWalk(g *Graph, walkers, iterations int, pT float64, seed uint64) ([]int64, error) {
+	return frogwild.SerialWalk(g, walkers, iterations, pT, seed)
+}
+
+// GraphLabPRConfig configures the GraphLab-PR baseline.
+type GraphLabPRConfig = glpr.Config
+
+// GraphLabPRResult is the baseline's output.
+type GraphLabPRResult = glpr.Result
+
+// RunGraphLabPR executes synchronous power-iteration PageRank on the
+// same simulated engine (the paper's principal baseline). Set
+// Iterations for the reduced-iterations variant or leave it zero for
+// exact mode with Tolerance.
+func RunGraphLabPR(g *Graph, cfg GraphLabPRConfig) (*GraphLabPRResult, error) {
+	return glpr.Run(g, cfg)
+}
+
+// SparsifyConfig configures the uniform-sparsification baseline.
+type SparsifyConfig = sparsify.Config
+
+// SparsifyResult is the sparsification baseline's output.
+type SparsifyResult = sparsify.Result
+
+// RunSparsifiedPR deletes each edge with probability 1-Keep and runs
+// GraphLab PR on the thinned graph (the paper's Figure 5 baseline).
+func RunSparsifiedPR(g *Graph, cfg SparsifyConfig) (*SparsifyResult, error) {
+	return sparsify.Run(g, cfg)
+}
+
+// SparsifyGraph returns a uniformly sparsified copy of g (keep
+// probability q), with dangling vertices repaired.
+func SparsifyGraph(g *Graph, q float64, seed uint64) (*Graph, error) {
+	return sparsify.Uniform(g, q, seed)
+}
+
+// MonteCarloConfig configures the serial Monte-Carlo baseline
+// (Avrachenkov et al., reference [5] of the paper).
+type MonteCarloConfig = montecarlo.Config
+
+// MonteCarloResult is the Monte-Carlo baseline's output.
+type MonteCarloResult = montecarlo.Result
+
+// RunMonteCarloPR runs R walkers from every vertex serially.
+func RunMonteCarloPR(g *Graph, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	return montecarlo.Run(g, cfg)
+}
+
+// TopEntry pairs a vertex with its score.
+type TopEntry = topk.Entry
+
+// TopK returns the k highest-scoring vertices in descending order.
+func TopK(scores []float64, k int) []TopEntry { return topk.Top(scores, k) }
+
+// CapturedMass is the paper's Definition 2 metric: the true-PageRank
+// mass of the top-k set selected by the estimate.
+func CapturedMass(exact, estimate []float64, k int) float64 {
+	return topk.CapturedMass(exact, estimate, k)
+}
+
+// NormalizedCapturedMass rescales CapturedMass by its optimum µk(π),
+// the "Mass captured" accuracy in the paper's figures (1.0 = perfect).
+func NormalizedCapturedMass(exact, estimate []float64, k int) float64 {
+	return topk.NormalizedCapturedMass(exact, estimate, k)
+}
+
+// ExactIdentification is the fraction of the reported top-k that is in
+// the true top-k (the paper's second metric).
+func ExactIdentification(exact, estimate []float64, k int) float64 {
+	return topk.ExactIdentification(exact, estimate, k)
+}
+
+// Partitioner assigns graph edges to machines (vertex-cut ingress).
+type Partitioner = cluster.Partitioner
+
+// PartitionerByName returns "random", "oblivious" or "grid" ingress.
+func PartitionerByName(name string) (Partitioner, error) { return cluster.ByName(name) }
+
+// Layout is a realized placement of a graph on the simulated cluster.
+// Build one with NewLayout and share it across runs via the configs'
+// Layout field to amortize ingress.
+type Layout = cluster.Layout
+
+// NewLayout partitions a graph across machines with the given ingress
+// strategy (nil means random).
+func NewLayout(g *Graph, machines int, p Partitioner, seed uint64) (*Layout, error) {
+	return cluster.NewLayout(g, machines, p, seed)
+}
+
+// CostModel converts metered engine work into simulated seconds.
+type CostModel = cluster.CostModel
+
+// DefaultCostModel returns the calibrated cost model (≈1 Gb/s links,
+// 1 ms barriers).
+func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// RunStats reports what an engine run did and cost; exposed on the
+// FrogWild and GraphLab-PR results.
+type RunStats = gas.RunStats
+
+// ErrorBoundParams parameterizes the paper's Theorem 1 guarantee.
+type ErrorBoundParams = theory.BoundParams
+
+// ErrorBound evaluates Theorem 1: with probability ≥ 1−δ the FrogWild
+// estimator's captured mass is within ε of optimal.
+func ErrorBound(p ErrorBoundParams) (float64, error) { return theory.Epsilon(p) }
+
+// IntersectionBound evaluates Theorem 2's bound on the probability two
+// walkers meet within t steps.
+func IntersectionBound(n, t int, piMax, pT float64) float64 {
+	return theory.IntersectBound(n, t, piMax, pT)
+}
+
+// PPRConfig configures a personalized FrogWild run (top-k personalized
+// PageRank, the extension discussed in the paper's Section 2.4).
+type PPRConfig = frogwild.PPRConfig
+
+// RunPersonalizedFrogWild executes FrogWild with frogs restarting from
+// the Sources set instead of the uniform distribution; the estimate
+// approximates the heavy entries of the personalized PageRank vector.
+func RunPersonalizedFrogWild(g *Graph, cfg PPRConfig) (*FrogWildResult, error) {
+	return frogwild.RunPPR(g, cfg)
+}
+
+// ExactPersonalizedPageRank computes the exact PPR vector for the
+// uniform distribution over sources (ground truth for
+// RunPersonalizedFrogWild).
+func ExactPersonalizedPageRank(g *Graph, sources []VertexID, teleport float64) ([]float64, error) {
+	return frogwild.ExactPPR(g, sources, teleport, 0, 0)
+}
+
+// Erasure selects the Appendix A edge-erasure model variant.
+type Erasure = frogwild.Erasure
+
+// Erasure model variants.
+const (
+	// ErasureAtLeastOne never strands a frog (Example 10, the paper's
+	// implemented model).
+	ErasureAtLeastOne = frogwild.ErasureAtLeastOne
+	// ErasureIndependent may strand frogs at low ps (Example 9).
+	ErasureIndependent = frogwild.ErasureIndependent
+)
+
+// GossipConfig configures push-protocol rumor spreading, a second
+// vertex program demonstrating that any "send to a random neighbor"
+// algorithm benefits from the ps knob (paper Section 3.3).
+type GossipConfig = gossip.Config
+
+// GossipResult reports a rumor-spreading run.
+type GossipResult = gossip.Result
+
+// RunGossip spreads a rumor from Origin with one push per informed
+// vertex per round on the simulated cluster.
+func RunGossip(g *Graph, cfg GossipConfig) (*GossipResult, error) {
+	return gossip.Run(g, cfg)
+}
+
+// L1Distance returns Σ|a_i−b_i| (twice the total-variation distance
+// for distributions).
+func L1Distance(a, b []float64) float64 { return topk.L1Distance(a, b) }
+
+// ChiSquaredContrast returns the paper's Definition 12 contrast
+// χ²(a; b).
+func ChiSquaredContrast(a, b []float64) float64 { return topk.ChiSquaredContrast(a, b) }
+
+// KendallTauTopK returns Kendall's tau over the union of the two
+// top-k sets (+1 = identical order, −1 = reversed).
+func KendallTauTopK(exact, estimate []float64, k int) float64 {
+	return topk.KendallTauTopK(exact, estimate, k)
+}
+
+// PrecisionAtK is ExactIdentification with credit for boundary ties.
+func PrecisionAtK(exact, estimate []float64, k int) float64 {
+	return topk.PrecisionAtK(exact, estimate, k)
+}
+
+// FrogEstimator selects what FrogWild's per-vertex tally counts.
+type FrogEstimator = frogwild.Estimator
+
+// FrogWild estimator variants.
+const (
+	// EstimatorEndpoint counts each frog at its final position (the
+	// paper's Definition 5).
+	EstimatorEndpoint = frogwild.EstimatorEndpoint
+	// EstimatorVisits counts every visit (Avrachenkov et al.'s
+	// complete-path estimator, the paper's reference [5]): ≈1/pT
+	// samples per frog at identical network cost.
+	EstimatorVisits = frogwild.EstimatorVisits
+)
