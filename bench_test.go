@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/harness"
@@ -191,6 +192,103 @@ func BenchmarkSerialFrogWalk(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchGraph50k is the graph for the serial-vs-parallel speedup
+// benchmarks: big enough (~1.5M edges) that per-iteration work, not
+// scheduling overhead, dominates.
+var benchGraph50k = sync.OnceValue(func() *repro.Graph {
+	g, err := repro.TwitterLikeGraph(50000, 7)
+	if err != nil {
+		panic(err)
+	}
+	return g
+})
+
+// timeOnce measures fn once; used to cache each parallel benchmark's
+// untimed Workers=1 baseline so it is not re-run every time the
+// framework re-invokes the benchmark with a larger b.N.
+func timeOnce(fn func() error) func() time.Duration {
+	return sync.OnceValue(func() time.Duration {
+		start := time.Now()
+		if err := fn(); err != nil {
+			panic(err)
+		}
+		return time.Since(start)
+	})
+}
+
+// reportSpeedup attaches the serial-over-parallel throughput ratio.
+func reportSpeedup(b *testing.B, serial time.Duration) {
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(serial.Seconds()/perOp, "speedup/serial-vs-parallel")
+	}
+}
+
+var serialPageRankDur = timeOnce(func() error {
+	_, err := repro.ExactPageRank(benchGraph50k(), repro.PageRankOptions{Tolerance: 1e-9, Workers: 1})
+	return err
+})
+
+var serialFrogWalkDur = timeOnce(func() error {
+	g := benchGraph50k()
+	_, err := repro.SerialFrogWalkParallel(g, g.NumVertices()/6, 4, repro.DefaultTeleport, 1, 1)
+	return err
+})
+
+var serialMonteCarloDur = timeOnce(func() error {
+	_, err := repro.RunMonteCarloPR(benchGraph50k(), repro.MonteCarloConfig{Seed: 1, Workers: 1})
+	return err
+})
+
+// BenchmarkExactPageRankParallel measures the multicore solver on the
+// 50k-vertex twitter-like graph and reports its speedup over the same
+// solve at Workers=1. Results are bit-identical for any worker count,
+// so this measures pure throughput.
+func BenchmarkExactPageRankParallel(b *testing.B) {
+	g := benchGraph50k()
+	serialDur := serialPageRankDur()
+	par := repro.PageRankOptions{Tolerance: 1e-9} // Workers 0 = all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.ExactPageRank(g, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpeedup(b, serialDur)
+}
+
+// BenchmarkSerialFrogWalkParallel measures the sharded single-machine
+// frog walk on the 50k-vertex graph and reports its speedup over one
+// worker.
+func BenchmarkSerialFrogWalkParallel(b *testing.B) {
+	g := benchGraph50k()
+	walkers := g.NumVertices() / 6
+	serialDur := serialFrogWalkDur()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.SerialFrogWalkParallel(g, walkers, 4, repro.DefaultTeleport, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpeedup(b, serialDur)
+}
+
+// BenchmarkMonteCarloParallel measures the sharded Monte-Carlo baseline
+// (R=1 walker per vertex) on the 50k-vertex graph with speedup over one
+// worker.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	g := benchGraph50k()
+	serialDur := serialMonteCarloDur()
+	par := repro.MonteCarloConfig{Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.RunMonteCarloPR(g, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpeedup(b, serialDur)
 }
 
 // BenchmarkIngress measures vertex-cut partitioning (random ingress,

@@ -7,6 +7,11 @@
 //
 //	frogwild -graph tw.bin.gz -walkers 100000 -iters 4 -ps 0.7 -machines 16 -k 20 -compare
 //	frogwild -gen twitterlike -n 50000 -walkers 8000 -ps 0.4
+//	frogwild -gen twitterlike -n 50000 -reference -workers 0
+//
+// With -reference the simulated cluster is skipped entirely and the
+// single-machine frog-walk process runs instead, sharded across
+// -workers cores (tallies are bit-identical for any worker count).
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func main() {
 		k        = flag.Int("k", 20, "how many top vertices to print")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		compare  = flag.Bool("compare", false, "also compute exact PageRank and report accuracy")
+		refMode  = flag.Bool("reference", false, "run the single-machine reference walk instead of the simulated cluster")
+		workers  = flag.Int("workers", 0, "worker goroutines in -reference mode (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -60,6 +68,33 @@ func main() {
 			nWalkers = 100
 		}
 	}
+	if *refMode {
+		counts, err := repro.SerialFrogWalkParallel(g, nWalkers, *iters, repro.DefaultTeleport, *seed, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "frogwild: %v\n", err)
+			os.Exit(1)
+		}
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		est := make([]float64, len(counts))
+		for v, c := range counts {
+			est[v] = float64(c) / float64(total)
+		}
+		fmt.Printf("graph: %d vertices, %d edges; single-machine reference walk\n",
+			g.NumVertices(), g.NumEdges())
+		fmt.Printf("frogwild: %d walkers, %d iterations, %d workers\n", nWalkers, *iters, parallel.Workers(*workers))
+		fmt.Printf("\n%-8s %-10s %-12s %s\n", "rank", "vertex", "estimate", "frogs")
+		for i, e := range repro.TopK(est, *k) {
+			fmt.Printf("%-8d %-10d %.6e %d\n", i+1, e.Vertex, e.Score, counts[e.Vertex])
+		}
+		if *compare {
+			reportAccuracy(g, est, *k)
+		}
+		return
+	}
+
 	p, err := repro.PartitionerByName(*part)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "frogwild: %v\n", err)
@@ -119,20 +154,26 @@ func main() {
 	}
 
 	if *compare {
-		exact, err := repro.ExactPageRank(g, repro.PageRankOptions{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "frogwild: exact pagerank: %v\n", err)
-			os.Exit(1)
+		reportAccuracy(g, res.Estimate, *k)
+	}
+}
+
+// reportAccuracy computes exact PageRank and prints the paper's two
+// accuracy metrics for the given estimate.
+func reportAccuracy(g *repro.Graph, estimate []float64, k int) {
+	exact, err := repro.ExactPageRank(g, repro.PageRankOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frogwild: exact pagerank: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\naccuracy vs exact PageRank:\n")
+	for _, kk := range []int{10, k, 100} {
+		if kk > g.NumVertices() {
+			continue
 		}
-		fmt.Printf("\naccuracy vs exact PageRank:\n")
-		for _, kk := range []int{10, *k, 100} {
-			if kk > g.NumVertices() {
-				continue
-			}
-			fmt.Printf("  k=%-5d mass captured %.4f   exact identification %.4f\n",
-				kk,
-				repro.NormalizedCapturedMass(exact.Rank, res.Estimate, kk),
-				repro.ExactIdentification(exact.Rank, res.Estimate, kk))
-		}
+		fmt.Printf("  k=%-5d mass captured %.4f   exact identification %.4f\n",
+			kk,
+			repro.NormalizedCapturedMass(exact.Rank, estimate, kk),
+			repro.ExactIdentification(exact.Rank, estimate, kk))
 	}
 }

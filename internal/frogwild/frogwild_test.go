@@ -107,6 +107,59 @@ func TestSerialWalkConserves(t *testing.T) {
 	}
 }
 
+func TestSerialWalkParallelBitIdentical(t *testing.T) {
+	g := powerLaw(t, 500, 4)
+	const walkers = 9999
+	ref, err := SerialWalkParallel(g, walkers, 6, 0.15, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range ref {
+		total += c
+	}
+	if total != walkers {
+		t.Errorf("parallel walk settled %d frogs, want %d", total, walkers)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got, err := SerialWalkParallel(g, walkers, 6, 0.15, 7, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for v := range ref {
+			if got[v] != ref[v] {
+				t.Fatalf("workers=%d: counts[%d] = %d != serial %d (not bit-identical)",
+					workers, v, got[v], ref[v])
+			}
+		}
+	}
+}
+
+// TestSerialWalkParallelSamplesSameProcess checks the chunked-stream
+// walk is a faithful sample of the same process as SerialWalk by
+// comparing both estimates against exact PageRank.
+func TestSerialWalkParallelSamplesSameProcess(t *testing.T) {
+	g := powerLaw(t, 400, 6)
+	const walkers = 60000
+	exact, err := pagerank.Exact(g, pagerank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := SerialWalk(g, walkers, 8, 0.15, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SerialWalkParallel(g, walkers, 8, 0.15, 23, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSerial := topk.NormalizedCapturedMass(exact.Rank, Estimate(serial, walkers), 50)
+	mPar := topk.NormalizedCapturedMass(exact.Rank, Estimate(par, walkers), 50)
+	if math.Abs(mSerial-mPar) > 0.05 {
+		t.Errorf("serial (%.3f) and parallel (%.3f) captured mass differ", mSerial, mPar)
+	}
+}
+
 // TestMatchesSerialReference cross-validates the distributed engine
 // against the serial random-walk process: with ps=1 both sample the
 // same truncated-geometric walk distribution, so their estimates must

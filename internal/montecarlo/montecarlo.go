@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -57,6 +58,13 @@ type Config struct {
 	Estimator Estimator
 	// Seed drives the walks.
 	Seed uint64
+	// Workers is the number of goroutines sharding the walks: 0 selects
+	// GOMAXPROCS, 1 runs single-threaded. Start vertices are split into
+	// fixed chunks (a function of the graph size only), each chunk walks
+	// its own derived rng.Stream, and per-worker integer tallies are
+	// merged at the end — so the result is bit-identical for every
+	// Workers value.
+	Workers int
 }
 
 // Result is a Monte Carlo run's output.
@@ -70,7 +78,13 @@ type Result struct {
 	TotalSteps int64
 }
 
-// Run performs R walks from every vertex serially.
+// Run performs R walks from every vertex, sharded across cfg.Workers
+// goroutines. For a fixed Config the result is a deterministic function
+// of the graph and seed, independent of Workers. Note: the sharded
+// per-chunk streams consume randomness differently than the single
+// stream the pre-parallel implementation used, so tallies for a given
+// seed differ from versions predating the Workers knob — both are
+// exact samples of the same walk process.
 func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, errors.New("montecarlo: empty graph")
@@ -94,34 +108,62 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		maxSteps = 1000
 	}
 	n := g.NumVertices()
-	rs := rng.Derive(cfg.Seed, 0x3C4)
-	counts := make([]int64, n)
 	res := &Result{Walks: r * n}
-	for start := 0; start < n; start++ {
-		for w := 0; w < r; w++ {
-			v := graph.VertexID(start)
-			if cfg.Estimator == CompletePath {
-				counts[v]++
-			}
-			for step := 0; step < maxSteps; step++ {
-				if rs.Bernoulli(pT) {
-					break
-				}
-				outs := g.OutNeighbors(v)
-				if len(outs) == 0 {
-					break
-				}
-				v = outs[rs.Intn(len(outs))]
-				res.TotalSteps++
+
+	// Start vertices are sharded into chunks whose boundaries depend
+	// only on n, each chunk walking its own derived stream, so the
+	// tallies below are the same for any worker count (integer
+	// increments commute; each chunk's walk sequence is fixed).
+	chunks := parallel.Chunks(n)
+	streams := rng.Shards(cfg.Seed, 0x3C4, len(chunks))
+	pool := parallel.NewPool(cfg.Workers)
+	defer pool.Close()
+	workerCounts := make([][]int64, pool.NumWorkers())
+	for w := range workerCounts {
+		workerCounts[w] = make([]int64, n)
+	}
+	workerSteps := make([]int64, pool.NumWorkers())
+	pool.Run(len(chunks), func(c, worker int) {
+		rs := streams[c]
+		counts := workerCounts[worker]
+		var steps int64
+		for start := chunks[c].Lo; start < chunks[c].Hi; start++ {
+			for w := 0; w < r; w++ {
+				v := graph.VertexID(start)
 				if cfg.Estimator == CompletePath {
 					counts[v]++
 				}
-			}
-			if cfg.Estimator == EndPoint {
-				counts[v]++
+				for step := 0; step < maxSteps; step++ {
+					if rs.Bernoulli(pT) {
+						break
+					}
+					outs := g.OutNeighbors(v)
+					if len(outs) == 0 {
+						break
+					}
+					v = outs[rs.Intn(len(outs))]
+					steps++
+					if cfg.Estimator == CompletePath {
+						counts[v]++
+					}
+				}
+				if cfg.Estimator == EndPoint {
+					counts[v]++
+				}
 			}
 		}
+		workerSteps[worker] += steps
+	})
+	counts := workerCounts[0]
+	for w := 1; w < len(workerCounts); w++ {
+		for v, c := range workerCounts[w] {
+			counts[v] += c
+		}
 	}
+	for _, s := range workerSteps {
+		res.TotalSteps += s
+	}
+
 	var total int64
 	for _, c := range counts {
 		total += c

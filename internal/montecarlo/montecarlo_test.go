@@ -101,6 +101,35 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+func TestRunParallelBitIdentical(t *testing.T) {
+	g, err := gen.PowerLaw(gen.TwitterLike(1200, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range []Estimator{EndPoint, CompletePath} {
+		ref, err := Run(g, Config{WalkersPerVertex: 3, Estimator: est, Seed: 21, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			got, err := Run(g, Config{WalkersPerVertex: 3, Estimator: est, Seed: 21, Workers: workers})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", est, workers, err)
+			}
+			if got.Walks != ref.Walks || got.TotalSteps != ref.TotalSteps {
+				t.Errorf("%v workers=%d: walks/steps (%d,%d) != serial (%d,%d)",
+					est, workers, got.Walks, got.TotalSteps, ref.Walks, ref.TotalSteps)
+			}
+			for v := range ref.Estimate {
+				if got.Estimate[v] != ref.Estimate[v] {
+					t.Fatalf("%v workers=%d: estimate[%d] = %v != serial %v (not bit-identical)",
+						est, workers, v, got.Estimate[v], ref.Estimate[v])
+				}
+			}
+		}
+	}
+}
+
 func TestEstimatorString(t *testing.T) {
 	if EndPoint.String() != "endpoint" || CompletePath.String() != "completepath" {
 		t.Error("estimator strings wrong")

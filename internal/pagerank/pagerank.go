@@ -1,8 +1,14 @@
-// Package pagerank computes the exact PageRank vector by serial power
+// Package pagerank computes the exact PageRank vector by power
 // iteration. It provides the ground truth π against which FrogWild's
 // estimator and the GraphLab-PR baseline are evaluated (Definition 1 of
 // the paper: π is the principal right eigenvector of
 // Q = (1-pT)·P + pT·(1/n)·1).
+//
+// The inner loop runs on the shared-memory worker pool of package
+// parallel, pulling each destination's rank from its in-neighbors over
+// contiguous CSR vertex chunks. Chunk boundaries depend only on the
+// vertex count and floating-point partials are reduced in chunk index
+// order, so the result is bit-identical for every Workers setting.
 package pagerank
 
 import (
@@ -11,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // DefaultTeleport is the conventional teleportation probability; the
@@ -26,6 +33,11 @@ type Options struct {
 	Tolerance float64
 	// MaxIterations caps the iteration count. Defaults to 500 when zero.
 	MaxIterations int
+	// Workers is the number of goroutines executing the power-iteration
+	// inner loop: 0 selects GOMAXPROCS, 1 runs single-threaded. The
+	// computed vector is bit-identical for every value — Workers is
+	// purely a throughput knob.
+	Workers int
 }
 
 // Result holds the converged PageRank vector and solver diagnostics.
@@ -73,30 +85,57 @@ func Exact(g *graph.Graph, opts Options) (*Result, error) {
 		cur[i] = uniform
 	}
 
+	// Dangling vertices, in ascending order, so their mass is summed in
+	// a fixed order each iteration regardless of worker count.
+	var dangling []graph.VertexID
+	for v := 0; v < n; v++ {
+		if g.OutDegree(graph.VertexID(v)) == 0 {
+			dangling = append(dangling, graph.VertexID(v))
+		}
+	}
+
+	pool := parallel.NewPool(opts.Workers)
+	defer pool.Close()
+	chunks := parallel.Chunks(n)
+	contrib := make([]float64, n)          // cur[s]/dout(s), or 0 for dangling s
+	deltas := make([]float64, len(chunks)) // per-chunk L1 partials
+
 	res := &Result{}
 	for iter := 1; iter <= maxIter; iter++ {
 		// next = (1-pT)·P·cur + (pT + (1-pT)·danglingMass)·u
 		danglingMass := 0.0
-		for i := range next {
-			next[i] = 0
-		}
-		for v := 0; v < n; v++ {
-			mass := cur[v]
-			outs := g.OutNeighbors(uint32(v))
-			if len(outs) == 0 {
-				danglingMass += mass
-				continue
-			}
-			share := mass / float64(len(outs))
-			for _, d := range outs {
-				next[d] += share
-			}
+		for _, v := range dangling {
+			danglingMass += cur[v]
 		}
 		base := pT*uniform + (1-pT)*danglingMass*uniform
+		pool.Run(len(chunks), func(c, _ int) {
+			for v := chunks[c].Lo; v < chunks[c].Hi; v++ {
+				if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+					contrib[v] = cur[v] / float64(d)
+				} else {
+					contrib[v] = 0
+				}
+			}
+		})
+		// Pull phase: each chunk owns a contiguous destination range, so
+		// there are no write races, and each next[v] accumulates its
+		// in-neighbor contributions in the fixed CSR order.
+		pool.Run(len(chunks), func(c, _ int) {
+			delta := 0.0
+			for v := chunks[c].Lo; v < chunks[c].Hi; v++ {
+				sum := 0.0
+				for _, s := range g.InNeighbors(graph.VertexID(v)) {
+					sum += contrib[s]
+				}
+				x := (1-pT)*sum + base
+				next[v] = x
+				delta += math.Abs(x - cur[v])
+			}
+			deltas[c] = delta
+		})
 		delta := 0.0
-		for i := range next {
-			next[i] = (1-pT)*next[i] + base
-			delta += math.Abs(next[i] - cur[i])
+		for _, d := range deltas {
+			delta += d
 		}
 		cur, next = next, cur
 		res.Iterations = iter
@@ -118,7 +157,7 @@ func Iterate(g *graph.Graph, k int, teleport float64) (*Result, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("pagerank: negative iteration count %d", k)
 	}
-	r, err := Exact(g, Options{Teleport: teleport, Tolerance: math.SmallestNonzeroFloat64, MaxIterations: maxInt(k, 1)})
+	r, err := Exact(g, Options{Teleport: teleport, Tolerance: math.SmallestNonzeroFloat64, MaxIterations: max(k, 1)})
 	if err != nil {
 		return nil, err
 	}
@@ -132,13 +171,6 @@ func Iterate(g *graph.Graph, k int, teleport float64) (*Result, error) {
 		return &Result{Rank: u}, nil
 	}
 	return r, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Validate checks that v is a probability distribution to within eps.

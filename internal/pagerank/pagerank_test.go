@@ -211,6 +211,49 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+func TestExactParallelBitIdentical(t *testing.T) {
+	// The parallel inner loop promises bit-identical results for every
+	// worker count: fixed chunk boundaries, fixed per-destination
+	// accumulation order, partial sums reduced in chunk index order.
+	graphs := map[string]*graph.Graph{
+		"star":  gen.Star(300),
+		"cycle": gen.Cycle(100),
+	}
+	if g, err := gen.PowerLaw(gen.TwitterLike(3000, 17)); err == nil {
+		graphs["twitterlike"] = g
+	} else {
+		t.Fatal(err)
+	}
+	if g, err := graph.NewBuilder(40).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 0).AddEdge(3, 0).AllowDangling().Build(); err == nil {
+		graphs["dangling"] = g // vertices 4..39 are dangling
+	} else {
+		t.Fatal(err)
+	}
+	for name, g := range graphs {
+		ref, err := Exact(g, Options{Tolerance: 1e-13, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			got, err := Exact(g, Options{Tolerance: 1e-13, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if got.Iterations != ref.Iterations || got.Residual != ref.Residual || got.Converged != ref.Converged {
+				t.Errorf("%s workers=%d: diagnostics (%d,%v,%v) != serial (%d,%v,%v)",
+					name, workers, got.Iterations, got.Residual, got.Converged,
+					ref.Iterations, ref.Residual, ref.Converged)
+			}
+			for v := range ref.Rank {
+				if got.Rank[v] != ref.Rank[v] {
+					t.Fatalf("%s workers=%d: rank[%d] = %v != serial %v (not bit-identical)",
+						name, workers, v, got.Rank[v], ref.Rank[v])
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkExact100k(b *testing.B) {
 	g, err := gen.PowerLaw(gen.LiveJournalLike(100000, 1))
 	if err != nil {

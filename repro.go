@@ -123,7 +123,9 @@ func SaveGraph(path string, g *Graph) error { return gio.SaveEdgeList(path, g) }
 // (gzipped when the path ends in .gz); LoadGraph reads it back.
 func SaveGraphBinary(path string, g *Graph) error { return gio.SaveBinary(path, g) }
 
-// PageRankOptions configures the exact serial solver.
+// PageRankOptions configures the exact solver. Its Workers field
+// shards the power-iteration inner loop across cores (0 = GOMAXPROCS,
+// 1 = single-threaded) with bit-identical results for every setting.
 type PageRankOptions = pagerank.Options
 
 // PageRankResult is the exact solver's output.
@@ -132,8 +134,9 @@ type PageRankResult = pagerank.Result
 // DefaultTeleport is the conventional teleportation probability 0.15.
 const DefaultTeleport = pagerank.DefaultTeleport
 
-// ExactPageRank computes the converged PageRank vector by serial power
-// iteration — the ground truth for the approximation metrics.
+// ExactPageRank computes the converged PageRank vector by power
+// iteration — the ground truth for the approximation metrics. The
+// inner loop runs on opts.Workers cores (0 = all of them).
 func ExactPageRank(g *Graph, opts PageRankOptions) (*PageRankResult, error) {
 	return pagerank.Exact(g, opts)
 }
@@ -178,6 +181,14 @@ func SerialFrogWalk(g *Graph, walkers, iterations int, pT float64, seed uint64) 
 	return frogwild.SerialWalk(g, walkers, iterations, pT, seed)
 }
 
+// SerialFrogWalkParallel is SerialFrogWalk sharded across workers
+// goroutines (0 = GOMAXPROCS, 1 = single-threaded). Walkers are split
+// into fixed chunks with one derived RNG stream each, so the tallies
+// are bit-identical for every workers value.
+func SerialFrogWalkParallel(g *Graph, walkers, iterations int, pT float64, seed uint64, workers int) ([]int64, error) {
+	return frogwild.SerialWalkParallel(g, walkers, iterations, pT, seed, workers)
+}
+
 // GraphLabPRConfig configures the GraphLab-PR baseline.
 type GraphLabPRConfig = glpr.Config
 
@@ -210,14 +221,16 @@ func SparsifyGraph(g *Graph, q float64, seed uint64) (*Graph, error) {
 	return sparsify.Uniform(g, q, seed)
 }
 
-// MonteCarloConfig configures the serial Monte-Carlo baseline
-// (Avrachenkov et al., reference [5] of the paper).
+// MonteCarloConfig configures the Monte-Carlo baseline (Avrachenkov et
+// al., reference [5] of the paper). Its Workers field shards the walks
+// across cores (0 = GOMAXPROCS, 1 = single-threaded) with bit-identical
+// results for every setting.
 type MonteCarloConfig = montecarlo.Config
 
 // MonteCarloResult is the Monte-Carlo baseline's output.
 type MonteCarloResult = montecarlo.Result
 
-// RunMonteCarloPR runs R walkers from every vertex serially.
+// RunMonteCarloPR runs R walkers from every vertex.
 func RunMonteCarloPR(g *Graph, cfg MonteCarloConfig) (*MonteCarloResult, error) {
 	return montecarlo.Run(g, cfg)
 }
