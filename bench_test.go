@@ -139,19 +139,39 @@ var benchLayout = sync.OnceValue(func() *repro.Layout {
 	return lay
 })
 
+// reportEngineMetrics attaches the bench job's tracked engine numbers:
+// apply throughput (vertex/s, from the vertex ops summed over every
+// timed iteration — runs seeded differently do different work) and the
+// simulated-over-wall time ratio of the final run.
+func reportEngineMetrics(b *testing.B, vertexOps int64, last *repro.RunStats) {
+	b.Helper()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(vertexOps)/sec, "vertex/s")
+	}
+	if last.WallSeconds > 0 {
+		b.ReportMetric(last.SimSeconds/last.WallSeconds, "simvswall")
+	}
+}
+
 // BenchmarkFrogWildRun measures a complete FrogWild run (4 iterations,
 // n/6 walkers, 16 machines) excluding ingress.
 func BenchmarkFrogWildRun(b *testing.B) {
 	g := benchGraph()
 	lay := benchLayout()
+	var last *repro.FrogWildResult
+	var vertexOps int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.RunFrogWild(g, repro.FrogWildConfig{
+		res, err := repro.RunFrogWild(g, repro.FrogWildConfig{
 			Walkers: g.NumVertices() / 6, Iterations: 4, PS: 0.7, Layout: lay, Seed: uint64(i),
-		}); err != nil {
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = res
+		vertexOps += res.Stats.Net.VertexOps
 	}
+	reportEngineMetrics(b, vertexOps, last.Stats)
 }
 
 // BenchmarkGraphLabPRIteration measures one synchronous PageRank
@@ -160,14 +180,20 @@ func BenchmarkFrogWildRun(b *testing.B) {
 func BenchmarkGraphLabPRIteration(b *testing.B) {
 	g := benchGraph()
 	lay := benchLayout()
+	var last *repro.GraphLabPRResult
+	var vertexOps int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.RunGraphLabPR(g, repro.GraphLabPRConfig{
+		res, err := repro.RunGraphLabPR(g, repro.GraphLabPRConfig{
 			Layout: lay, Iterations: 1, Seed: uint64(i),
-		}); err != nil {
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = res
+		vertexOps += res.Stats.Net.VertexOps
 	}
+	reportEngineMetrics(b, vertexOps, last.Stats)
 }
 
 // BenchmarkExactPageRank measures the serial ground-truth solver.
@@ -277,18 +303,78 @@ func BenchmarkSerialFrogWalkParallel(b *testing.B) {
 
 // BenchmarkMonteCarloParallel measures the sharded Monte-Carlo baseline
 // (R=1 walker per vertex) on the 50k-vertex graph with speedup over one
-// worker.
+// worker, reporting walk throughput as vertex/s (one walk starts at
+// every vertex).
 func BenchmarkMonteCarloParallel(b *testing.B) {
 	g := benchGraph50k()
 	serialDur := serialMonteCarloDur()
 	par := repro.MonteCarloConfig{Seed: 1}
+	var walks int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.RunMonteCarloPR(g, par); err != nil {
+		res, err := repro.RunMonteCarloPR(g, par)
+		if err != nil {
 			b.Fatal(err)
 		}
+		walks += int64(res.Walks)
 	}
 	reportSpeedup(b, serialDur)
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(walks)/sec, "vertex/s")
+	}
+}
+
+// benchLayout50k4 partitions the 50k graph over 4 machines — few enough
+// that multi-core CI runners have cores left over for per-machine
+// workers, which is what BenchmarkFrogWildEngineWorkers measures.
+var benchLayout50k4 = sync.OnceValue(func() *repro.Layout {
+	lay, err := repro.NewLayout(benchGraph50k(), 4, nil, 7)
+	if err != nil {
+		panic(err)
+	}
+	return lay
+})
+
+// engineFrogWild runs the workers-sweep FrogWild configuration: a full
+// walker-per-vertex load so apply/scatter dominate engine overhead.
+func engineFrogWild(workers int) (*repro.FrogWildResult, error) {
+	g := benchGraph50k()
+	return repro.RunFrogWild(g, repro.FrogWildConfig{
+		Walkers: g.NumVertices(), Iterations: 4, PS: 0.7,
+		Layout: benchLayout50k4(), Seed: 1, WorkersPerMachine: workers,
+	})
+}
+
+var serialEngineFrogWildDur = timeOnce(func() error {
+	_, err := engineFrogWild(1)
+	return err
+})
+
+// BenchmarkFrogWildEngineWorkers measures the engine's intra-machine
+// sharding on the 50k twitter-like graph: the same bit-identical run at
+// increasing WorkersPerMachine, each reporting its speedup over the
+// fully serial per-machine engine (workers=1). On a single-core runner
+// the ratio stays ≈1; with spare cores it rises.
+func BenchmarkFrogWildEngineWorkers(b *testing.B) {
+	benchLayout50k4() // build the layout outside the timed baseline
+	serial := serialEngineFrogWildDur()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var last *repro.FrogWildResult
+			var vertexOps int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := engineFrogWild(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+				vertexOps += res.Stats.Net.VertexOps
+			}
+			reportSpeedup(b, serial)
+			reportEngineMetrics(b, vertexOps, last.Stats)
+		})
+	}
 }
 
 // BenchmarkIngress measures vertex-cut partitioning (random ingress,

@@ -1,0 +1,148 @@
+// Command benchreport converts `go test -bench` text output into a
+// machine-readable JSON report, so CI can archive benchmark
+// trajectories (vertex/s, simulated-vs-wall ratios, speedups) as build
+// artifacts.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | benchreport -out BENCH.json
+//	benchreport -in bench.txt -out BENCH.json
+//
+// The report carries the run's environment header (goos, goarch, pkg,
+// cpu) and, per benchmark, the iteration count and every reported
+// metric including the custom ones attached via b.ReportMetric.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark line's parsed result.
+type Benchmark struct {
+	// Name is the benchmark name including the -cpu suffix, e.g.
+	// "BenchmarkFrogWildRun-8".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the
+	// line ("ns/op", "B/op", "vertex/s", "simvswall", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	// Env holds the run header lines (goos, goarch, pkg, cpu).
+	Env map[string]string `json:"env"`
+	// Benchmarks lists the parsed benchmark results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Failed reports whether the bench run printed FAIL.
+	Failed bool `json:"failed"`
+}
+
+// parseBench reads `go test -bench` text output into a Report. Lines
+// that are neither header, benchmark nor PASS/FAIL markers are ignored,
+// so interleaved log output is harmless.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		case line == "FAIL" || strings.HasPrefix(line, "FAIL\t"):
+			rep.Failed = true
+		default:
+			for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+				if v, ok := strings.CutPrefix(line, key+":"); ok {
+					rep.Env[key] = strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-8  N  v1 u1  v2 u2 ..."
+// line; ok is false for benchmark lines with no measurements (e.g. a
+// bare sub-benchmark group header).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "bench output file ('-' = stdin)")
+		out = flag.String("out", "", "JSON report path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchreport: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	// Echo the input so the tool can sit at the end of a pipe without
+	// hiding the human-readable bench table from the CI log.
+	rep, err := parseBench(io.TeeReader(src, os.Stdout))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	if rep.Failed {
+		os.Exit(1)
+	}
+}

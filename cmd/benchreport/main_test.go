@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkFrogWildRun-8         	       1	 123456789 ns/op	    52340 vertex/s	       212.5 simvswall
+BenchmarkFrogWildEngineWorkers/workers=2-8 	       1	  98765432 ns/op	         1.85 speedup/serial-vs-parallel
+some stray log line
+BenchmarkMonteCarloParallel-8  	       2	  51234567 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Error("PASS output marked failed")
+	}
+	for key, want := range map[string]string{
+		"goos": "linux", "goarch": "amd64", "pkg": "repro", "cpu": "Intel(R) Xeon(R) CPU",
+	} {
+		if rep.Env[key] != want {
+			t.Errorf("env[%s] = %q, want %q", key, rep.Env[key], want)
+		}
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	fw := rep.Benchmarks[0]
+	if fw.Name != "BenchmarkFrogWildRun-8" || fw.Iterations != 1 {
+		t.Errorf("first benchmark = %+v", fw)
+	}
+	if fw.Metrics["vertex/s"] != 52340 || fw.Metrics["simvswall"] != 212.5 || fw.Metrics["ns/op"] != 123456789 {
+		t.Errorf("metrics = %v", fw.Metrics)
+	}
+	sub := rep.Benchmarks[1]
+	if sub.Name != "BenchmarkFrogWildEngineWorkers/workers=2-8" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+	if sub.Metrics["speedup/serial-vs-parallel"] != 1.85 {
+		t.Errorf("speedup metric = %v", sub.Metrics)
+	}
+	if rep.Benchmarks[2].Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", rep.Benchmarks[2].Iterations)
+	}
+}
+
+func TestParseBenchFail(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("BenchmarkX-4 1 5 ns/op\nFAIL\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Error("FAIL output not marked failed")
+	}
+}
+
+func TestParseBenchLineRejectsHeaders(t *testing.T) {
+	if _, ok := parseBenchLine("BenchmarkGroup"); ok {
+		t.Error("bare group header should not parse")
+	}
+	if _, ok := parseBenchLine("BenchmarkX notanumber 5 ns/op"); ok {
+		t.Error("malformed iteration count should not parse")
+	}
+}

@@ -7,11 +7,15 @@
 //
 //	frogwild -graph tw.bin.gz -walkers 100000 -iters 4 -ps 0.7 -machines 16 -k 20 -compare
 //	frogwild -gen twitterlike -n 50000 -walkers 8000 -ps 0.4
+//	frogwild -gen twitterlike -n 50000 -machines 8 -engine-workers 4
 //	frogwild -gen twitterlike -n 50000 -reference -workers 0
 //
-// With -reference the simulated cluster is skipped entirely and the
-// single-machine frog-walk process runs instead, sharded across
-// -workers cores (tallies are bit-identical for any worker count).
+// -engine-workers shards every simulated machine's gather/apply/scatter
+// loops across that many goroutines (0 splits the cores across the
+// machines); tallies are bit-identical for any setting. With -reference
+// the simulated cluster is skipped entirely and the single-machine
+// frog-walk process runs instead, sharded across -workers cores
+// (likewise bit-identical for any worker count).
 package main
 
 import (
@@ -40,8 +44,14 @@ func main() {
 		compare  = flag.Bool("compare", false, "also compute exact PageRank and report accuracy")
 		refMode  = flag.Bool("reference", false, "run the single-machine reference walk instead of the simulated cluster")
 		workers  = flag.Int("workers", 0, "worker goroutines in -reference mode (0 = all cores, 1 = serial)")
+		engWork  = flag.Int("engine-workers", 0, "worker goroutines per simulated machine (0 = split cores across machines, 1 = serial per machine)")
 	)
 	flag.Parse()
+	if *engWork < 0 {
+		fmt.Fprintf(os.Stderr, "frogwild: -engine-workers must be >= 0, got %d\n", *engWork)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var (
 		g   *repro.Graph
@@ -122,14 +132,15 @@ func main() {
 	}
 
 	res, err := repro.RunFrogWild(g, repro.FrogWildConfig{
-		Walkers:      nWalkers,
-		Iterations:   *iters,
-		PS:           *ps,
-		Machines:     *machines,
-		Partitioner:  p,
-		Mode:         scatter,
-		ErasureModel: erasureModel,
-		Seed:         *seed,
+		Walkers:           nWalkers,
+		Iterations:        *iters,
+		PS:                *ps,
+		Machines:          *machines,
+		Partitioner:       p,
+		Mode:              scatter,
+		ErasureModel:      erasureModel,
+		Seed:              *seed,
+		WorkersPerMachine: *engWork,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "frogwild: %v\n", err)

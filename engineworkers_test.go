@@ -1,0 +1,158 @@
+// Equivalence tests for the engine's WorkersPerMachine knob: every
+// distributed entry point must produce byte-identical results — tallies,
+// estimates and network meters — no matter how many workers shard each
+// simulated machine's phases. This mirrors the Workers-knob tests the
+// serial paths got in internal/frogwild and internal/montecarlo.
+package repro_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// equivWorkerCounts deliberately includes an odd prime that does not
+// divide any chunk count evenly.
+var equivWorkerCounts = []int{1, 2, 4, 7}
+
+var equivSetup = sync.OnceValues(func() (*repro.Graph, *repro.Layout) {
+	g, err := repro.PowerLawGraph(repro.PowerLawConfig{
+		N: 3000, MeanOutDeg: 8, DegExponent: 2.0, PrefExponent: 1.1, Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	lay, err := repro.NewLayout(g, 8, nil, 11)
+	if err != nil {
+		panic(err)
+	}
+	return g, lay
+})
+
+// engineArtifact collects everything the acceptance criteria pin:
+// per-vertex tallies/estimates plus the run's network meters and
+// per-superstep engine series.
+type engineArtifact struct {
+	Ints       []int64
+	Floats     []float64
+	Stats      repro.RunStats
+	Supersteps int
+}
+
+// statsArtifact strips the wall-clock field (the only
+// machine-dependent quantity) from RunStats for exact comparison.
+func statsArtifact(s *repro.RunStats) repro.RunStats {
+	c := *s
+	c.WallSeconds = 0
+	return c
+}
+
+func TestEngineWorkersBitIdentical(t *testing.T) {
+	g, lay := equivSetup()
+	cases := []struct {
+		name string
+		run  func(workers int) (engineArtifact, error)
+	}{
+		{"frogwild", func(workers int) (engineArtifact, error) {
+			res, err := repro.RunFrogWild(g, repro.FrogWildConfig{
+				Walkers: 6000, Iterations: 4, PS: 0.4, Layout: lay, Seed: 42,
+				WorkersPerMachine: workers,
+			})
+			if err != nil {
+				return engineArtifact{}, err
+			}
+			return engineArtifact{Ints: res.Counts, Floats: res.Estimate,
+				Stats: statsArtifact(res.Stats), Supersteps: res.Stats.Supersteps}, nil
+		}},
+		{"frogwild-binomial-lowps", func(workers int) (engineArtifact, error) {
+			res, err := repro.RunFrogWild(g, repro.FrogWildConfig{
+				Walkers: 6000, Iterations: 4, PS: 0.1, Layout: lay, Seed: 7,
+				Mode: repro.ScatterBinomial, WorkersPerMachine: workers,
+			})
+			if err != nil {
+				return engineArtifact{}, err
+			}
+			return engineArtifact{Ints: res.Counts, Floats: res.Estimate,
+				Stats: statsArtifact(res.Stats), Supersteps: res.Stats.Supersteps}, nil
+		}},
+		{"graphlabpr", func(workers int) (engineArtifact, error) {
+			res, err := repro.RunGraphLabPR(g, repro.GraphLabPRConfig{
+				Layout: lay, Iterations: 8, Seed: 42, WorkersPerMachine: workers,
+			})
+			if err != nil {
+				return engineArtifact{}, err
+			}
+			return engineArtifact{Floats: res.Rank,
+				Stats: statsArtifact(res.Stats), Supersteps: res.Stats.Supersteps}, nil
+		}},
+		{"gossip", func(workers int) (engineArtifact, error) {
+			res, err := repro.RunGossip(g, repro.GossipConfig{
+				Origin: 0, Rounds: 12, PS: 0.7, Layout: lay, Seed: 42,
+				WorkersPerMachine: workers,
+			})
+			if err != nil {
+				return engineArtifact{}, err
+			}
+			rounds := make([]int64, len(res.RoundReached))
+			for v, r := range res.RoundReached {
+				rounds[v] = int64(r)
+			}
+			rounds = append(rounds, int64(res.Informed))
+			for _, c := range res.InformedByRound {
+				rounds = append(rounds, int64(c))
+			}
+			return engineArtifact{Ints: rounds,
+				Stats: statsArtifact(res.Stats), Supersteps: res.Stats.Supersteps}, nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := tc.run(1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			for _, workers := range equivWorkerCounts[1:] {
+				got, err := tc.run(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got.Ints, ref.Ints) {
+					t.Errorf("workers=%d: integer tallies diverge from workers=1", workers)
+				}
+				if !reflect.DeepEqual(got.Floats, ref.Floats) {
+					t.Errorf("workers=%d: estimates diverge from workers=1", workers)
+				}
+				if !reflect.DeepEqual(got.Stats, ref.Stats) {
+					t.Errorf("workers=%d: run stats (net meters/series) diverge from workers=1\n got %+v\nwant %+v",
+						workers, got.Stats, ref.Stats)
+				}
+				if got.Supersteps != ref.Supersteps {
+					t.Errorf("workers=%d: %d supersteps, want %d", workers, got.Supersteps, ref.Supersteps)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineWorkersRejectsNegative checks the knob's validation at the
+// public entry points.
+func TestEngineWorkersRejectsNegative(t *testing.T) {
+	g, lay := equivSetup()
+	if _, err := repro.RunFrogWild(g, repro.FrogWildConfig{
+		Walkers: 100, Iterations: 2, Layout: lay, WorkersPerMachine: -1,
+	}); err == nil {
+		t.Error("RunFrogWild accepted WorkersPerMachine=-1")
+	}
+	if _, err := repro.RunGraphLabPR(g, repro.GraphLabPRConfig{
+		Layout: lay, Iterations: 2, WorkersPerMachine: -3,
+	}); err == nil {
+		t.Error("RunGraphLabPR accepted WorkersPerMachine=-3")
+	}
+	if _, err := repro.RunGossip(g, repro.GossipConfig{
+		Origin: 0, Rounds: 2, Layout: lay, WorkersPerMachine: -2,
+	}); err == nil {
+		t.Error("RunGossip accepted WorkersPerMachine=-2")
+	}
+}

@@ -281,6 +281,11 @@ type Config struct {
 	Estimator Estimator
 	// Seed drives frog placement, deaths, routing and sync coin flips.
 	Seed uint64
+	// WorkersPerMachine shards each simulated machine's engine phases
+	// across a worker pool: 0 divides GOMAXPROCS across machines, 1 is
+	// fully serial per machine. Tallies are bit-identical for every
+	// setting (see gas.Options.WorkersPerMachine).
+	WorkersPerMachine int
 	// Cost overrides the cost model; zero value selects the default.
 	Cost cluster.CostModel
 	// Layout, when non-nil, reuses a prebuilt layout (Machines and
@@ -378,6 +383,7 @@ func runWithPlacement(g *graph.Graph, cfg Config, placer func(n, walkers int, r 
 		MaxSupersteps:       cfg.Iterations,
 		Cost:                cfg.Cost,
 		IndependentErasures: cfg.ErasureModel == ErasureIndependent,
+		WorkersPerMachine:   cfg.WorkersPerMachine,
 	})
 	if err != nil {
 		return nil, err

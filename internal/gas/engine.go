@@ -3,11 +3,13 @@ package gas
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -16,6 +18,15 @@ const (
 	rngDomainApply   = 0xA11
 	rngDomainScatter = 0x5CA
 )
+
+// scatterPurpose packs the scatter domain, superstep and machine into
+// the single purpose label rng.Shards accepts, so each machine's
+// scatter phase draws one independent stream per work chunk. Supersteps
+// fit 24 bits and machines 16 (cluster.MaxMachines is far below that),
+// so the packing is injective for every realizable run.
+func scatterPurpose(step, machine int) uint64 {
+	return rngDomainScatter<<40 | uint64(step)<<16 | uint64(machine)
+}
 
 // perEntryHeaderBytes is the wire overhead metered per message, sync or
 // gather entry (a packed vertex id).
@@ -44,6 +55,16 @@ type Options struct {
 	// (walkers are lost), instead of force-enabling one replica (the
 	// default, Example 10 "At Least One Out-Edge Per Node").
 	IndependentErasures bool
+	// WorkersPerMachine shards every per-machine engine phase (gather,
+	// apply, scatter, finalize) across a worker pool of this size per
+	// simulated machine. 0 divides GOMAXPROCS evenly across machines
+	// (at least one worker each); 1 runs each machine's loops serially
+	// on its own goroutine, the pre-parallel behaviour. Results are
+	// bit-identical for every setting: chunk boundaries depend only on
+	// per-machine view sizes, per-chunk partial results are reduced in
+	// chunk-index order, and scatter randomness is one derived stream
+	// per chunk. Negative values are rejected by New.
+	WorkersPerMachine int
 	// Cost converts metered work into simulated seconds; the zero
 	// value selects cluster.DefaultCostModel.
 	Cost cluster.CostModel
@@ -82,6 +103,8 @@ type Engine[V, M any] struct {
 	n        int
 	machines int
 	sizes    Sizes
+	// workers is the resolved per-machine worker-pool size.
+	workers int
 
 	splitter  Splitter[V]
 	finalizer Finalizer[V, M]
@@ -100,8 +123,18 @@ type Engine[V, M any] struct {
 	nextInbox  []M
 	nextHasMsg []bool
 
-	// Per-machine gather partials for the current superstep.
-	partials []map[graph.VertexID]float64
+	// pending counts the vertices that take part in the next superstep
+	// (activated or holding a message), maintained incrementally by the
+	// routing phase so quiescence detection is O(1) instead of an O(n)
+	// scan per superstep.
+	pending int64
+
+	// Per-machine gather partials for the current superstep, indexed by
+	// machine-local vertex index (dense, so gather chunks write disjoint
+	// ranges with no locking). hasPart marks which entries are live this
+	// superstep; both are fully overwritten by every gather phase.
+	partials [][]float64
+	hasPart  [][]bool
 
 	// syncOut[master][target] collects sync/share deliveries produced
 	// in apply, consumed by the target machine in scatter.
@@ -115,12 +148,71 @@ type Engine[V, M any] struct {
 	runMeters  []cluster.MachineMeter
 
 	aggregates []float64
+
+	// Fixed per-machine chunkings of the phase loops: boundaries are a
+	// function of view sizes only, never of the worker count — the
+	// invariant that keeps runs bit-identical for any WorkersPerMachine.
+	gatherChunks [][]parallel.Range
+	applyChunks  [][]parallel.Range
+
+	scratch []machineScratch[V, M]
 }
 
 type syncEntry[V any] struct {
 	v       graph.VertexID
 	state   V
 	scatter bool
+}
+
+// targetedSync is a sync delivery staged in a per-chunk apply buffer
+// before the chunk-order merge into syncOut.
+type targetedSync[V any] struct {
+	target uint16
+	entry  syncEntry[V]
+}
+
+// scatterItem is one sync delivery on the scatter work list, annotated
+// with its source machine for receive metering.
+type scatterItem[V any] struct {
+	src   uint16
+	entry syncEntry[V]
+}
+
+// machineScratch holds one machine's worker pool and reusable per-chunk
+// buffers. Every per-chunk partial (meter, float aggregate, sync and
+// message buffers) lands here and is reduced in chunk-index order on
+// the machine's own goroutine after the pool drains.
+type machineScratch[V, M any] struct {
+	pool    *parallel.Pool
+	meters  []cluster.MachineMeter
+	aggs    []float64
+	applied []int64
+	sync    [][]targetedSync[V]
+	out     []map[graph.VertexID]M
+	work    []scatterItem[V]
+	// newPending is the machine's newly activated vertex count from the
+	// routing phase, summed into Engine.pending.
+	newPending int64
+}
+
+// ensure grows the per-chunk buffers to hold at least n chunks,
+// preserving already-allocated capacity.
+func (sc *machineScratch[V, M]) ensure(n int) {
+	for len(sc.meters) < n {
+		sc.meters = append(sc.meters, cluster.MachineMeter{})
+	}
+	for len(sc.aggs) < n {
+		sc.aggs = append(sc.aggs, 0)
+	}
+	for len(sc.applied) < n {
+		sc.applied = append(sc.applied, 0)
+	}
+	for len(sc.sync) < n {
+		sc.sync = append(sc.sync, nil)
+	}
+	for len(sc.out) < n {
+		sc.out = append(sc.out, nil)
+	}
 }
 
 // New validates the configuration and builds an engine. The layout may
@@ -136,6 +228,9 @@ func New[V, M any](lay *cluster.Layout, prog Program[V, M], opts Options) (*Engi
 	if opts.MaxSupersteps <= 0 {
 		return nil, fmt.Errorf("gas: MaxSupersteps must be positive, got %d", opts.MaxSupersteps)
 	}
+	if opts.WorkersPerMachine < 0 {
+		return nil, fmt.Errorf("gas: WorkersPerMachine must be >= 0, got %d", opts.WorkersPerMachine)
+	}
 	if opts.Cost == (cluster.CostModel{}) {
 		opts.Cost = cluster.DefaultCostModel()
 	}
@@ -146,6 +241,12 @@ func New[V, M any](lay *cluster.Layout, prog Program[V, M], opts Options) (*Engi
 		n:        lay.Graph().NumVertices(),
 		machines: lay.NumMachines(),
 		sizes:    prog.Sizes(),
+	}
+	e.workers = opts.WorkersPerMachine
+	if e.workers == 0 {
+		// Machines already fan out one goroutine each; split the cores
+		// among them.
+		e.workers = max(1, runtime.GOMAXPROCS(0)/e.machines)
 	}
 	if s, ok := prog.(Splitter[V]); ok {
 		e.splitter = s
@@ -160,26 +261,38 @@ func New[V, M any](lay *cluster.Layout, prog Program[V, M], opts Options) (*Engi
 	e.hasMsg = make([]bool, e.n)
 	e.nextInbox = make([]M, e.n)
 	e.nextHasMsg = make([]bool, e.n)
-	e.partials = make([]map[graph.VertexID]float64, e.machines)
 	e.outbox = make([]map[graph.VertexID]M, e.machines)
 	e.syncOut = make([][][]syncEntry[V], e.machines)
 	for m := 0; m < e.machines; m++ {
-		e.partials[m] = make(map[graph.VertexID]float64)
 		e.outbox[m] = make(map[graph.VertexID]M)
 		e.syncOut[m] = make([][]syncEntry[V], e.machines)
 	}
 	e.stepMeters = make([]cluster.MachineMeter, e.machines)
 	e.runMeters = make([]cluster.MachineMeter, e.machines)
 	e.aggregates = make([]float64, e.machines)
+	e.scratch = make([]machineScratch[V, M], e.machines)
+	e.applyChunks = make([][]parallel.Range, e.machines)
+	for m := 0; m < e.machines; m++ {
+		e.applyChunks[m] = parallel.Chunks(len(lay.View(m).Masters()))
+	}
 
 	if prog.GatherDir() != DirNone {
 		e.replica = make([][]V, e.machines)
+		e.partials = make([][]float64, e.machines)
+		e.hasPart = make([][]bool, e.machines)
+		e.gatherChunks = make([][]parallel.Range, e.machines)
 		for m := 0; m < e.machines; m++ {
-			e.replica[m] = make([]V, lay.View(m).NumPresent())
+			present := lay.View(m).NumPresent()
+			e.replica[m] = make([]V, present)
+			e.partials[m] = make([]float64, present)
+			e.hasPart[m] = make([]bool, present)
+			e.gatherChunks[m] = parallel.Chunks(present)
 		}
 	}
 
-	// Initial states and activation.
+	// Initial states and activation. The pending counter needs no
+	// seeding: quiescence is only consulted after a superstep, and every
+	// superstep's routing phase recounts it from scratch.
 	for v := 0; v < e.n; v++ {
 		st, act := prog.InitState(graph.VertexID(v))
 		e.state[v] = st
@@ -218,6 +331,14 @@ func (e *Engine[V, M]) parallel(fn func(m int)) {
 // finalizer and returns statistics.
 func (e *Engine[V, M]) Run() (*RunStats, error) {
 	start := time.Now()
+	for m := range e.scratch {
+		e.scratch[m].pool = parallel.NewPool(e.workers)
+	}
+	defer func() {
+		for m := range e.scratch {
+			e.scratch[m].pool.Close()
+		}
+	}()
 	stats := &RunStats{ReplicationFactor: e.lay.ReplicationFactor()}
 	for step := 0; step < e.opts.MaxSupersteps; step++ {
 		applied := e.superstep(step)
@@ -248,9 +369,14 @@ func (e *Engine[V, M]) Run() (*RunStats, error) {
 	// Deliver still-pending messages to the finalizer.
 	if e.finalizer != nil {
 		e.parallel(func(m int) {
-			for _, v := range e.lay.View(m).Masters() {
-				e.state[v] = e.finalizer.Finalize(v, e.state[v], e.inbox[v], e.hasMsg[v])
-			}
+			masters := e.lay.View(m).Masters()
+			chunks := e.applyChunks[m]
+			e.scratch[m].pool.Run(len(chunks), func(c, _ int) {
+				for i := chunks[c].Lo; i < chunks[c].Hi; i++ {
+					v := masters[i]
+					e.state[v] = e.finalizer.Finalize(v, e.state[v], e.inbox[v], e.hasMsg[v])
+				}
+			})
 		})
 	}
 	for m := 0; m < e.machines; m++ {
@@ -270,14 +396,10 @@ func (e *Engine[V, M]) Run() (*RunStats, error) {
 }
 
 // quiescent reports whether no vertex is active and no message is
-// pending.
+// pending. The pending counter is maintained by the routing phase, so
+// this is O(1) regardless of graph size.
 func (e *Engine[V, M]) quiescent() bool {
-	for v := 0; v < e.n; v++ {
-		if e.active[v] || e.hasMsg[v] {
-			return false
-		}
-	}
-	return true
+	return e.pending == 0
 }
 
 // superstep runs one full GAS cycle and returns the number of applied
@@ -289,92 +411,165 @@ func (e *Engine[V, M]) superstep(step int) int64 {
 		e.aggregates[m] = 0
 	}
 
-	// Phase 1 — gather partials on every machine.
+	// Phase 1 — gather partials on every machine, sharded over fixed
+	// chunks of the machine's local-index space. Chunks write disjoint
+	// dense ranges of partials/hasPart, so no merge is needed; chunk
+	// meters are reduced in chunk order.
 	if gatherDir != DirNone {
 		e.parallel(func(m int) {
 			view := e.lay.View(m)
-			meter := &e.stepMeters[m]
+			sc := &e.scratch[m]
+			chunks := e.gatherChunks[m]
+			sc.ensure(len(chunks))
+			verts := view.Verts()
 			part := e.partials[m]
-			ctx := &Context{Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m}
+			hasPart := e.hasPart[m]
 			read := func(u graph.VertexID) V {
 				li, _ := view.LocalIndex(u)
 				return e.replica[m][li]
 			}
-			for li, v := range view.Verts() {
-				if !e.isActive(v) {
-					continue
+			sc.pool.Run(len(chunks), func(c, _ int) {
+				meter := &sc.meters[c]
+				meter.Reset()
+				ctx := &Context{Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m}
+				for li := chunks[c].Lo; li < chunks[c].Hi; li++ {
+					v := graph.VertexID(verts[li])
+					hasPart[li] = false
+					if !e.isActive(v) {
+						continue
+					}
+					var neighbors []graph.VertexID
+					if gatherDir == DirIn {
+						neighbors = view.InNeighborsLocal(int32(li))
+					} else {
+						neighbors = view.OutNeighborsLocal(int32(li))
+					}
+					if len(neighbors) == 0 {
+						continue
+					}
+					part[li] = e.prog.GatherLocal(v, neighbors, read, ctx)
+					hasPart[li] = true
+					meter.EdgeOps += int64(len(neighbors))
+					if int(e.lay.MasterOf(v)) != m {
+						meter.Send(cluster.TrafficGather, int64(e.sizes.Acc)+perEntryHeaderBytes)
+					}
 				}
-				var neighbors []graph.VertexID
-				if gatherDir == DirIn {
-					neighbors = view.InNeighborsLocal(int32(li))
-				} else {
-					neighbors = view.OutNeighborsLocal(int32(li))
-				}
-				if len(neighbors) == 0 {
-					continue
-				}
-				part[v] = e.prog.GatherLocal(v, neighbors, read, ctx)
-				meter.EdgeOps += int64(len(neighbors))
-				if int(e.lay.MasterOf(v)) != m {
-					meter.Send(cluster.TrafficGather, int64(e.sizes.Acc)+perEntryHeaderBytes)
-				}
+			})
+			for c := range chunks {
+				e.stepMeters[m].Add(&sc.meters[c])
 			}
 		})
 	}
 
-	// Phase 2 — apply at masters; plan sync and scatter shares.
-	var applied int64
-	var appliedMu sync.Mutex
+	// Phase 2 — apply at masters, sharded over fixed chunks of the
+	// master list; plan sync and scatter shares into per-chunk buffers.
+	// Aggregates, meters and sync deliveries are reduced in chunk-index
+	// order, keeping floating-point sums and syncOut ordering identical
+	// for any worker count.
 	e.parallel(func(m int) {
 		view := e.lay.View(m)
-		meter := &e.stepMeters[m]
-		var localApplied int64
-		for _, v := range view.Masters() {
-			if !e.isActive(v) && !e.hasMsg[v] {
-				continue
-			}
-			localApplied++
-			acc := 0.0
-			if gatherDir != DirNone {
-				for mm := 0; mm < e.machines; mm++ {
-					if p, ok := e.partials[mm][v]; ok {
-						acc += p
+		sc := &e.scratch[m]
+		masters := view.Masters()
+		chunks := e.applyChunks[m]
+		sc.ensure(len(chunks))
+		sc.pool.Run(len(chunks), func(c, _ int) {
+			meter := &sc.meters[c]
+			meter.Reset()
+			sc.aggs[c] = 0
+			sc.applied[c] = 0
+			buf := sc.sync[c][:0]
+			for i := chunks[c].Lo; i < chunks[c].Hi; i++ {
+				v := graph.VertexID(masters[i])
+				if !e.isActive(v) && !e.hasMsg[v] {
+					continue
+				}
+				sc.applied[c]++
+				acc := 0.0
+				if gatherDir != DirNone {
+					for mm := 0; mm < e.machines; mm++ {
+						li, ok := e.lay.View(mm).LocalIndex(v)
+						if !ok || !e.hasPart[mm][li] {
+							continue
+						}
+						acc += e.partials[mm][li]
 						if mm != m {
 							meter.Recv(cluster.TrafficGather, int64(e.sizes.Acc)+perEntryHeaderBytes)
 						}
 					}
 				}
-			}
-			ctx := &Context{
-				Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m,
-				Rng: rng.Derive(e.opts.Seed, rngDomainApply, uint64(step), uint64(v)),
-			}
-			newState, doScatter := e.prog.Apply(v, e.state[v], acc, e.inbox[v], e.hasMsg[v], ctx)
-			e.state[v] = newState
-			e.aggregates[m] += ctx.aggregate
-			meter.VertexOps++
-			if e.replica != nil {
-				if li, ok := view.LocalIndex(v); ok {
-					e.replica[m][li] = newState
+				ctx := &Context{
+					Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m,
+					Rng: rng.Derive(e.opts.Seed, rngDomainApply, uint64(step), uint64(v)),
+				}
+				newState, doScatter := e.prog.Apply(v, e.state[v], acc, e.inbox[v], e.hasMsg[v], ctx)
+				e.state[v] = newState
+				sc.aggs[c] += ctx.aggregate
+				meter.VertexOps++
+				if e.replica != nil {
+					if li, ok := view.LocalIndex(v); ok {
+						e.replica[m][li] = newState
+					}
+				}
+				if doScatter {
+					buf = e.planSync(m, v, newState, ctx.Rng, meter, buf)
 				}
 			}
-			if doScatter {
-				e.planSync(m, v, newState, ctx.Rng, meter)
+			sc.sync[c] = buf
+		})
+		for c := range chunks {
+			e.stepMeters[m].Add(&sc.meters[c])
+			e.aggregates[m] += sc.aggs[c]
+			for _, ts := range sc.sync[c] {
+				e.syncOut[m][ts.target] = append(e.syncOut[m][ts.target], ts.entry)
 			}
 		}
-		appliedMu.Lock()
-		applied += localApplied
-		appliedMu.Unlock()
 	})
+	var applied int64
+	for m := range e.scratch {
+		for c := range e.applyChunks[m] {
+			applied += e.scratch[m].applied[c]
+		}
+	}
 
 	// Phase 3 — deliver syncs, then scatter on synchronized replicas.
+	// Each machine flattens its incoming deliveries (source order, then
+	// append order — both deterministic) into a work list, chunks it,
+	// and gives every chunk its own derived rng stream; per-chunk
+	// outboxes merge in chunk order via CombineMsg.
 	e.parallel(func(m int) {
 		view := e.lay.View(m)
-		meter := &e.stepMeters[m]
-		out := e.outbox[m]
+		sc := &e.scratch[m]
+		work := sc.work[:0]
 		for src := 0; src < e.machines; src++ {
 			for _, entry := range e.syncOut[src][m] {
-				if src != m {
+				work = append(work, scatterItem[V]{src: uint16(src), entry: entry})
+			}
+		}
+		sc.work = work
+		chunks := parallel.Chunks(len(work))
+		sc.ensure(len(chunks))
+		streams := rng.Shards(e.opts.Seed, scatterPurpose(step, m), len(chunks))
+		// With a single chunk the merge is the identity, so the chunk
+		// can combine straight into the machine outbox.
+		direct := len(chunks) == 1
+		sc.pool.Run(len(chunks), func(c, _ int) {
+			meter := &sc.meters[c]
+			meter.Reset()
+			out := e.outbox[m]
+			if !direct {
+				if sc.out[c] == nil {
+					sc.out[c] = make(map[graph.VertexID]M)
+				} else {
+					clear(sc.out[c])
+				}
+				out = sc.out[c]
+			}
+			emit := func(dst graph.VertexID, msg M) {
+				e.combineInto(out, dst, msg)
+			}
+			for i := chunks[c].Lo; i < chunks[c].Hi; i++ {
+				entry := work[i].entry
+				if int(work[i].src) != m {
 					meter.Recv(cluster.TrafficSync, int64(e.sizes.State)+perEntryHeaderBytes)
 				}
 				li, ok := view.LocalIndex(entry.v)
@@ -398,25 +593,31 @@ func (e *Engine[V, M]) superstep(step int) int64 {
 				}
 				ctx := &Context{
 					Superstep: step, NumVertices: e.n, NumMachines: e.machines, Machine: m,
-					Rng: rng.Derive(e.opts.Seed, rngDomainScatter, uint64(step), uint64(entry.v), uint64(m)),
+					Rng: streams[c],
 				}
-				e.prog.ScatterLocal(entry.v, entry.state, neighbors, func(dst graph.VertexID, msg M) {
-					if prev, ok := out[dst]; ok {
-						out[dst] = e.prog.CombineMsg(prev, msg)
-					} else {
-						out[dst] = msg
-					}
-				}, ctx)
+				e.prog.ScatterLocal(entry.v, entry.state, neighbors, emit, ctx)
 				meter.EdgeOps += int64(len(neighbors))
+			}
+		})
+		out := e.outbox[m]
+		for c := range chunks {
+			e.stepMeters[m].Add(&sc.meters[c])
+			if direct {
+				continue
+			}
+			for dst, msg := range sc.out[c] {
+				e.combineInto(out, dst, msg)
 			}
 		}
 	})
 
 	// Phase 4 — route combined messages to destination masters. Each
 	// destination machine drains every outbox for its own vertices, so
-	// writes to nextInbox are disjoint across goroutines.
+	// writes to nextInbox are disjoint across goroutines; each machine
+	// counts its newly activated vertices for the pending counter.
 	e.parallel(func(m int) {
 		meter := &e.stepMeters[m]
+		var fresh int64
 		for src := 0; src < e.machines; src++ {
 			for dst, msg := range e.outbox[src] {
 				if int(e.lay.MasterOf(dst)) != m {
@@ -430,11 +631,17 @@ func (e *Engine[V, M]) superstep(step int) int64 {
 				} else {
 					e.nextInbox[dst] = msg
 					e.nextHasMsg[dst] = true
+					fresh++
 				}
 				e.nextActive[dst] = true
 			}
 		}
+		e.scratch[m].newPending = fresh
 	})
+	e.pending = 0
+	for m := range e.scratch {
+		e.pending += e.scratch[m].newPending
+	}
 	// Meter sends for signals (per source machine) and charge one
 	// control message per machine pair for the barrier.
 	for src := 0; src < e.machines; src++ {
@@ -451,14 +658,10 @@ func (e *Engine[V, M]) superstep(step int) int64 {
 	e.inbox, e.nextInbox = e.nextInbox, e.inbox
 	e.hasMsg, e.nextHasMsg = e.nextHasMsg, e.hasMsg
 	e.active, e.nextActive = e.nextActive, e.active
-	var zeroM M
-	for v := 0; v < e.n; v++ {
-		e.nextActive[v] = false
-		e.nextHasMsg[v] = false
-		e.nextInbox[v] = zeroM // drop consumed messages; stale values must never leak
-	}
+	clear(e.nextActive)
+	clear(e.nextHasMsg)
+	clear(e.nextInbox) // drop consumed messages; stale values must never leak
 	for m := 0; m < e.machines; m++ {
-		clear(e.partials[m])
 		clear(e.outbox[m])
 		for t := 0; t < e.machines; t++ {
 			e.syncOut[m][t] = e.syncOut[m][t][:0]
@@ -467,20 +670,31 @@ func (e *Engine[V, M]) superstep(step int) int64 {
 	return applied
 }
 
+// combineInto upserts msg for dst into an outbox map, merging with any
+// earlier message via the program's combiner.
+func (e *Engine[V, M]) combineInto(out map[graph.VertexID]M, dst graph.VertexID, msg M) {
+	if prev, ok := out[dst]; ok {
+		out[dst] = e.prog.CombineMsg(prev, msg)
+	} else {
+		out[dst] = msg
+	}
+}
+
 // isActive reports whether v takes part in this superstep.
 func (e *Engine[V, M]) isActive(v graph.VertexID) bool {
 	return e.opts.AlwaysActive || e.active[v] || e.hasMsg[v]
 }
 
 // planSync decides which replicas of v synchronize this superstep,
-// meters the sync traffic, and enqueues per-target sync entries
-// (with split shares for Splitter programs). It runs at v's master
-// machine m; r is the vertex's apply-phase stream, so the mirror coin
-// flips are deterministic per (seed, superstep, vertex).
-func (e *Engine[V, M]) planSync(m int, v graph.VertexID, state V, r *rng.Stream, meter *cluster.MachineMeter) {
+// meters the sync traffic, and appends per-target sync entries (with
+// split shares for Splitter programs) to the caller's chunk buffer,
+// returning the grown buffer. It runs at v's master machine m; r is the
+// vertex's apply-phase stream, so the mirror coin flips are
+// deterministic per (seed, superstep, vertex) regardless of chunking.
+func (e *Engine[V, M]) planSync(m int, v graph.VertexID, state V, r *rng.Stream, meter *cluster.MachineMeter, sink []targetedSync[V]) []targetedSync[V] {
 	presences := e.lay.Presences(v)
 	if len(presences) == 0 {
-		return
+		return sink
 	}
 	// presences[0] is the master's machine: always synchronized.
 	synced := make([]uint16, 1, len(presences))
@@ -494,9 +708,9 @@ func (e *Engine[V, M]) planSync(m int, v graph.VertexID, state V, r *rng.Stream,
 
 	if e.splitter == nil {
 		for _, target := range synced {
-			e.syncOut[m][target] = append(e.syncOut[m][target], syncEntry[V]{v: v, state: state, scatter: true})
+			sink = append(sink, targetedSync[V]{target: target, entry: syncEntry[V]{v: v, state: state, scatter: true}})
 		}
-		return
+		return sink
 	}
 
 	// Splitter path: shares go only to synchronized replicas that own
@@ -525,7 +739,7 @@ func (e *Engine[V, M]) planSync(m int, v graph.VertexID, state V, r *rng.Stream,
 	}
 	if len(targets) == 0 {
 		if e.opts.IndependentErasures {
-			return // Example 9: the state strands this superstep
+			return sink // Example 9: the state strands this superstep
 		}
 		// Collect all replicas with local edges and force one.
 		var candidates []uint16
@@ -535,7 +749,7 @@ func (e *Engine[V, M]) planSync(m int, v graph.VertexID, state V, r *rng.Stream,
 			}
 		}
 		if len(candidates) == 0 {
-			return // vertex has no scatter-direction edges anywhere
+			return sink // vertex has no scatter-direction edges anywhere
 		}
 		forced := candidates[r.Intn(len(candidates))]
 		targets = append(targets, forced)
@@ -549,8 +763,9 @@ func (e *Engine[V, M]) planSync(m int, v graph.VertexID, state V, r *rng.Stream,
 		panic(fmt.Sprintf("gas: Split returned %d shares for %d targets", len(shares), len(targets)))
 	}
 	for i, target := range targets {
-		e.syncOut[m][target] = append(e.syncOut[m][target], syncEntry[V]{v: v, state: shares[i], scatter: true})
+		sink = append(sink, targetedSync[V]{target: target, entry: syncEntry[V]{v: v, state: shares[i], scatter: true}})
 	}
+	return sink
 }
 
 // MasterStates returns the final master state of every vertex, indexed

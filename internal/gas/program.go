@@ -25,8 +25,17 @@
 //     are combined per destination and delivered to the destination's
 //     master at the start of the next superstep, activating it.
 //
+// Execution is parallel at two levels: one goroutine per simulated
+// machine, and within each machine a worker pool
+// (Options.WorkersPerMachine) that shards the gather, apply and scatter
+// loops over fixed chunks of the machine's local vertex view. Chunk
+// boundaries depend only on view sizes, per-chunk partials (meters,
+// float aggregates, sync deliveries, combined messages) are reduced in
+// chunk-index order, and scatter randomness is one derived stream per
+// chunk — so runs are bit-identical for any worker count.
+//
 // All randomness derives deterministically from the run seed, the
-// superstep and the vertex (or machine), so runs are reproducible
+// superstep and the vertex, chunk or machine, so runs are reproducible
 // regardless of goroutine scheduling.
 package gas
 

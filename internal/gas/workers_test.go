@@ -1,0 +1,69 @@
+package gas
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph/gen"
+)
+
+// runTokens floods tokens over a power-law graph with the given
+// per-machine worker count and returns the final states plus stats.
+func runTokens(t *testing.T, lay *cluster.Layout, workers int) ([]tokState, *RunStats) {
+	t.Helper()
+	eng, err := New[tokState, int64](lay, tokenProgram{}, Options{
+		PS: 1, Seed: 5, MaxSupersteps: 5, WorkersPerMachine: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats.WallSeconds = 0 // the one field legitimately run-dependent
+	return eng.MasterStates(), stats
+}
+
+// TestWorkersPerMachineBitIdentical pins the engine-level guarantee:
+// chunked phase execution returns the same states and the same meters
+// for every worker count, including one that does not divide the chunk
+// counts.
+func TestWorkersPerMachineBitIdentical(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 2000, MeanOutDeg: 6, DegExponent: 2.0, PrefExponent: 1.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := cluster.NewLayout(g, 5, cluster.Random{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStates, refStats := runTokens(t, lay, 1)
+	for _, workers := range []int{2, 4, 7} {
+		states, stats := runTokens(t, lay, workers)
+		if !reflect.DeepEqual(states, refStates) {
+			t.Errorf("workers=%d: master states diverge from workers=1", workers)
+		}
+		if !reflect.DeepEqual(stats, refStats) {
+			t.Errorf("workers=%d: stats diverge from workers=1\n got %+v\nwant %+v", workers, stats, refStats)
+		}
+	}
+}
+
+func TestWorkersPerMachineValidation(t *testing.T) {
+	lay := ringLayout(t, 10, 2)
+	if _, err := New[tokState, int64](lay, tokenProgram{}, Options{
+		PS: 1, Seed: 1, MaxSupersteps: 2, WorkersPerMachine: -1,
+	}); err == nil {
+		t.Error("negative WorkersPerMachine should be rejected")
+	}
+	// 0 (auto) and large explicit counts are both valid.
+	for _, workers := range []int{0, 64} {
+		if _, err := New[tokState, int64](lay, tokenProgram{}, Options{
+			PS: 1, Seed: 1, MaxSupersteps: 2, WorkersPerMachine: workers,
+		}); err != nil {
+			t.Errorf("WorkersPerMachine=%d rejected: %v", workers, err)
+		}
+	}
+}

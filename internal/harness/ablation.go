@@ -53,6 +53,7 @@ func ablatePartitioners(e *Env, w *Workload, machines int) (*Table, error) {
 		}
 		res, err := frogwild.Run(w.Graph, frogwild.Config{
 			Walkers: w.Walkers, Iterations: fwIters, PS: 0.7, Layout: lay, Seed: e.Seed, Cost: e.Cost,
+			WorkersPerMachine: e.EngineWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -80,6 +81,7 @@ func ablateScatter(e *Env, w *Workload, machines int) (*Table, error) {
 			res, err := frogwild.Run(w.Graph, frogwild.Config{
 				Walkers: w.Walkers, Iterations: fwIters, PS: ps, Layout: lay,
 				Seed: e.Seed, Cost: e.Cost, Mode: mode,
+				WorkersPerMachine: e.EngineWorkers,
 			})
 			if err != nil {
 				return nil, err
@@ -108,6 +110,7 @@ func ablateErasure(e *Env, w *Workload, machines int) (*Table, error) {
 			res, err := frogwild.Run(w.Graph, frogwild.Config{
 				Walkers: w.Walkers, Iterations: fwIters, PS: ps, Layout: lay,
 				Seed: e.Seed, Cost: e.Cost, ErasureModel: er,
+				WorkersPerMachine: e.EngineWorkers,
 			})
 			if err != nil {
 				return nil, err

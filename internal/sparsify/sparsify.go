@@ -68,6 +68,10 @@ type Config struct {
 	Teleport float64
 	// Seed drives sparsification, partitioning and the engine.
 	Seed uint64
+	// WorkersPerMachine shards each simulated machine's engine phases
+	// across a worker pool for the GL PR run (see
+	// gas.Options.WorkersPerMachine).
+	WorkersPerMachine int
 	// Cost overrides the cost model.
 	Cost cluster.CostModel
 }
@@ -95,12 +99,13 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	pr, err := glpr.Run(sg, glpr.Config{
-		Machines:    cfg.Machines,
-		Partitioner: cfg.Partitioner,
-		Teleport:    cfg.Teleport,
-		Iterations:  cfg.Iterations,
-		Seed:        cfg.Seed,
-		Cost:        cfg.Cost,
+		Machines:          cfg.Machines,
+		Partitioner:       cfg.Partitioner,
+		Teleport:          cfg.Teleport,
+		Iterations:        cfg.Iterations,
+		Seed:              cfg.Seed,
+		WorkersPerMachine: cfg.WorkersPerMachine,
+		Cost:              cfg.Cost,
 	})
 	if err != nil {
 		return nil, err

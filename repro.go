@@ -170,7 +170,10 @@ const (
 )
 
 // RunFrogWild executes the FrogWild process on the simulated
-// vertex-cut cluster and returns the top-PageRank estimate.
+// vertex-cut cluster and returns the top-PageRank estimate. The
+// config's WorkersPerMachine field shards each simulated machine's
+// engine phases across cores (0 = split GOMAXPROCS across machines,
+// 1 = serial per machine) with bit-identical tallies for every setting.
 func RunFrogWild(g *Graph, cfg FrogWildConfig) (*FrogWildResult, error) {
 	return frogwild.Run(g, cfg)
 }
@@ -198,7 +201,9 @@ type GraphLabPRResult = glpr.Result
 // RunGraphLabPR executes synchronous power-iteration PageRank on the
 // same simulated engine (the paper's principal baseline). Set
 // Iterations for the reduced-iterations variant or leave it zero for
-// exact mode with Tolerance.
+// exact mode with Tolerance. Like RunFrogWild, the config's
+// WorkersPerMachine field shards each machine's phases across cores
+// with bit-identical ranks for every setting.
 func RunGraphLabPR(g *Graph, cfg GraphLabPRConfig) (*GraphLabPRResult, error) {
 	return glpr.Run(g, cfg)
 }
