@@ -1,9 +1,12 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -96,6 +99,50 @@ func TestGraphRoundTripThroughFacade(t *testing.T) {
 	}
 	if g3.NumEdges() != g.NumEdges() {
 		t.Error("binary round trip changed edge count")
+	}
+}
+
+func TestServingThroughFacade(t *testing.T) {
+	g, err := repro.TwitterLikeGraph(2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := repro.NewSnapshot(g, repro.SnapshotConfig{
+		Engine:   repro.ServeEngineFrogWild,
+		Machines: 4,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance contract: a snapshot's answer is bit-identical to
+	// TopK over its own scores.
+	for _, k := range []int{1, 20, 150} {
+		if !reflect.DeepEqual(snap.TopK(k), repro.TopK(snap.Ranks, k)) {
+			t.Fatalf("snapshot TopK(%d) differs from repro.TopK", k)
+		}
+	}
+	if snap.Engine != repro.ServeEngineFrogWild || snap.Stats.NumVertices != g.NumVertices() {
+		t.Errorf("snapshot provenance: %+v", snap.Engine)
+	}
+
+	// Serve: starts, builds, answers, and shuts down cleanly on cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- repro.Serve(ctx, "127.0.0.1:0", g, repro.ServeConfig{
+			Build: repro.SnapshotConfig{Engine: repro.ServeEngineFrogWild, Machines: 4, Seed: 9},
+		})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve should shut down cleanly, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not shut down")
 	}
 }
 

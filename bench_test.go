@@ -9,12 +9,17 @@ package repro_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro"
 	"repro/internal/harness"
+	"repro/internal/serve"
 )
 
 // benchEnv caches one tiny-scale experiment environment across
@@ -374,6 +379,133 @@ func BenchmarkFrogWildEngineWorkers(b *testing.B) {
 			reportSpeedup(b, serial)
 			reportEngineMetrics(b, vertexOps, last.Stats)
 		})
+	}
+}
+
+// --- Serving-path benchmarks (internal/serve) ---
+
+// benchServe caches one query service over the 50k twitter-like graph:
+// a FrogWild snapshot published to a store, served by the HTTP API over
+// a real listener. Building it is setup, not the thing measured.
+var benchServe = sync.OnceValue(func() *httptest.Server {
+	snap, err := repro.NewSnapshot(benchGraph50k(), repro.SnapshotConfig{
+		Engine:   repro.ServeEngineFrogWild,
+		Machines: 4,
+		Seed:     7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	store := serve.NewStore()
+	store.Publish(snap)
+	srv := serve.NewServer(store, serve.ServerOptions{})
+	return httptest.NewServer(srv.Handler())
+})
+
+// benchServeGet issues one GET and drains the body (keep-alive reuse).
+// It reports failures with b.Error — not b.Fatal, which must not be
+// called from RunParallel worker goroutines — and returns false so the
+// worker can stop.
+func benchServeGet(b *testing.B, client *http.Client, url string) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Error(err)
+		return false
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		resp.Body.Close()
+		b.Error(err)
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Errorf("status %d", resp.StatusCode)
+		return false
+	}
+	return true
+}
+
+// BenchmarkServeTopK measures end-to-end /v1/topk throughput against
+// the 50k-vertex twitter-like graph, over real HTTP with concurrent
+// clients, reporting queries/s. The "hot" case repeats one k (per-k
+// body cache path, the expected production shape); "sweep" cycles k
+// over 1..100 (selection + marshal per distinct k per epoch, then
+// cached).
+func BenchmarkServeTopK(b *testing.B) {
+	ts := benchServe()
+	b.Run("hot-k20", func(b *testing.B) {
+		url := ts.URL + "/v1/topk?k=20"
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := &http.Client{}
+			for pb.Next() {
+				if !benchServeGet(b, client, url) {
+					return
+				}
+			}
+		})
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "queries/s")
+		}
+	})
+	b.Run("sweep-k1-100", func(b *testing.B) {
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := &http.Client{}
+			for pb.Next() {
+				k := int(next.Add(1)%100) + 1
+				if !benchServeGet(b, client, fmt.Sprintf("%s/v1/topk?k=%d", ts.URL, k)) {
+					return
+				}
+			}
+		})
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "queries/s")
+		}
+	})
+}
+
+// BenchmarkServeRank measures the uncached point-query endpoint
+// (marshal per request, no per-k cache to hide behind).
+func BenchmarkServeRank(b *testing.B) {
+	ts := benchServe()
+	var next atomic.Int64
+	n := benchGraph50k().NumVertices()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			v := int(next.Add(1)) % n
+			if !benchServeGet(b, client, fmt.Sprintf("%s/v1/rank?vertex=%d", ts.URL, v)) {
+				return
+			}
+		}
+	})
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "queries/s")
+	}
+}
+
+// BenchmarkSnapshotTopK measures the in-process answer path (index
+// prefix copy) without HTTP, the serving layer's floor.
+func BenchmarkSnapshotTopK(b *testing.B) {
+	snap, err := repro.NewSnapshot(benchGraph50k(), repro.SnapshotConfig{
+		Engine:   repro.ServeEngineFrogWild,
+		Machines: 4,
+		Seed:     7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := snap.TopK(20); len(got) != 20 {
+			b.Fatal("short answer")
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "queries/s")
 	}
 }
 

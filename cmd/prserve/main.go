@@ -1,0 +1,127 @@
+// Command prserve serves the top-k PageRank query over HTTP: it
+// computes an estimate of a graph's PageRank with the chosen engine,
+// publishes it as an immutable snapshot, and answers queries from it
+// while a background refresher recomputes the estimate on a cadence and
+// swaps it in atomically. Every response carries the snapshot epoch, so
+// clients can see exactly how stale an answer is.
+//
+// Usage:
+//
+//	prserve -gen twitterlike -n 50000 -addr :8080 -refresh 30s
+//	prserve -graph tw.bin.gz -engine frogwild -walkers 100000 -ps 0.7
+//	prserve -gen livejournallike -n 20000 -engine glpr -iters 5
+//	prserve -gen twitterlike -n 10000 -engine exact -workers 0
+//
+// API:
+//
+//	GET /v1/topk?k=20                  top-k vertices with scores
+//	GET /v1/rank?vertex=17             one vertex's estimated rank
+//	GET /v1/compare?engine=exact&k=20  served accuracy vs another engine
+//	GET /v1/stats                      provenance, graph + serving stats
+//	GET /healthz                       200 once a snapshot is published
+//
+// -refresh 0 disables background refresh: the initial snapshot serves
+// forever. SIGINT/SIGTERM shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		path     = flag.String("graph", "", "graph file (edge list or binary, auto-detected)")
+		genType  = flag.String("gen", "", "generate instead of load: twitterlike|livejournallike")
+		n        = flag.Int("n", 50000, "vertex count when generating")
+		engine   = flag.String("engine", "frogwild", "estimate engine: frogwild|glpr|exact")
+		walkers  = flag.Int("walkers", 0, "frogwild walker count N (default: vertices/6)")
+		iters    = flag.Int("iters", 0, "iterations: frogwild walk cutoff (default 4) / glpr supersteps (0 = to tolerance)")
+		ps       = flag.Float64("ps", 0.7, "mirror synchronization probability")
+		machines = flag.Int("machines", 16, "simulated cluster size")
+		engWork  = flag.Int("engine-workers", 0, "worker goroutines per simulated machine (0 = split cores across machines)")
+		workers  = flag.Int("workers", 0, "exact-engine power-iteration workers (0 = all cores)")
+		maxK     = flag.Int("maxk", serve.DefaultMaxK, "precomputed top index size (queries up to this k are O(k))")
+		refresh  = flag.Duration("refresh", 0, "background recompute cadence (0 = serve the initial snapshot forever)")
+		seed     = flag.Uint64("seed", 1, "base seed; each refresh derives generation seeds from it")
+	)
+	flag.Parse()
+	if *engWork < 0 {
+		fmt.Fprintf(os.Stderr, "prserve: -engine-workers must be >= 0, got %d\n", *engWork)
+		flag.Usage()
+		os.Exit(2)
+	}
+	eng, err := serve.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prserve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var g *repro.Graph
+	switch {
+	case *path != "":
+		g, err = repro.LoadGraph(*path)
+	case *genType == "twitterlike":
+		g, err = repro.TwitterLikeGraph(*n, *seed)
+	case *genType == "livejournallike":
+		g, err = repro.LiveJournalLikeGraph(*n, *seed)
+	default:
+		err = fmt.Errorf("provide -graph FILE or -gen twitterlike|livejournallike")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := serve.ServiceConfig{
+		Build: serve.BuildConfig{
+			Engine:            eng,
+			Walkers:           *walkers,
+			Iterations:        *iters,
+			PS:                *ps,
+			Machines:          *machines,
+			WorkersPerMachine: *engWork,
+			Workers:           *workers,
+			Seed:              *seed,
+			MaxK:              *maxK,
+		},
+		RefreshInterval: *refresh,
+		OnRefreshError:  func(err error) { log.Printf("prserve: refresh: %v", err) },
+	}
+
+	log.Printf("prserve: graph %d vertices / %d edges; building initial %s snapshot...",
+		g.NumVertices(), g.NumEdges(), eng)
+	start := time.Now()
+	srv, refresher, err := serve.NewService(g, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prserve: initial snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("prserve: snapshot epoch 1 ready in %.2fs (top index k<=%d)",
+		time.Since(start).Seconds(), cfg.Build.MaxK)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *refresh > 0 {
+		log.Printf("prserve: background refresh every %s", *refresh)
+		go refresher.Run(ctx, cfg.OnRefreshError)
+	}
+	log.Printf("prserve: serving on %s", *addr)
+	if err := srv.Serve(ctx, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "prserve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("prserve: graceful shutdown after %d queries (%d cache hits, %d refreshes)",
+		srv.Queries(), srv.CacheHits(), refresher.Refreshes())
+}

@@ -3,6 +3,7 @@ package gio
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -206,6 +207,54 @@ func TestLoadAutoDetect(t *testing.T) {
 	}
 	if gt.NumEdges() != g.NumEdges() {
 		t.Error("auto-detected text load wrong")
+	}
+}
+
+// TestBinarySaveLoadRoundTripAutoDetect pins the contract the facade's
+// LoadGraph relies on: SaveBinary output round-trips edge-exactly
+// through the auto-detecting Load path (magic-byte sniff), with and
+// without gzip, without touching the edge-list parser.
+func TestBinarySaveLoadRoundTripAutoDetect(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 400, MeanOutDeg: 7, DegExponent: 2.2, PrefExponent: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"g.bin", "g.bin.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveBinary(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := Load(path, EdgeListOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: sizes changed: %d/%d vs %d/%d",
+				name, g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		a, b := g.EdgeSlice(), g2.EdgeSlice()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: edge %d differs: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestLoadShortTextFile: files shorter than the 4-byte magic must fall
+// through to the edge-list parser, not error out of the sniff.
+func TestLoadShortTextFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.txt")
+	if err := os.WriteFile(path, []byte("0 1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path, EdgeListOptions{Dangling: graph.DanglingSelfLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 {
+		t.Errorf("n = %d, want 2", g.NumVertices())
 	}
 }
 

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// BuildFunc computes one fresh (unpublished) snapshot. The generation
+// counter starts at 0 and increments per successful build; builders
+// should derive their randomness from it so every refresh produces a
+// distinct, reproducible estimate.
+type BuildFunc func(generation uint64) (*Snapshot, error)
+
+// EngineBuilder returns a BuildFunc running cfg's engine on g with the
+// per-generation seed cfg.Seed+generation, so refreshes re-estimate
+// with fresh randomness but stay deterministic end to end.
+func EngineBuilder(g *graph.Graph, cfg BuildConfig) BuildFunc {
+	return func(generation uint64) (*Snapshot, error) {
+		c := cfg
+		c.Seed = cfg.Seed + generation
+		return Build(g, c)
+	}
+}
+
+// Refresher recomputes snapshots out of band and publishes them to a
+// Store: either on a fixed cadence (Run) or on demand (Refresh). Builds
+// are serialized — a refresh requested while one is in flight waits for
+// its own turn rather than racing it.
+type Refresher struct {
+	store    *Store
+	build    BuildFunc
+	interval time.Duration
+
+	mu         sync.Mutex // serializes builds; guards generation
+	generation uint64
+
+	refreshes atomic.Uint64
+	errs      atomic.Uint64
+}
+
+// NewRefresher wires a refresher to a store. interval is the Run
+// cadence; 0 or negative means Run publishes once and returns
+// (on-demand only via Refresh).
+func NewRefresher(store *Store, build BuildFunc, interval time.Duration) *Refresher {
+	return &Refresher{store: store, build: build, interval: interval}
+}
+
+// Refresh builds one snapshot and publishes it, returning the published
+// snapshot (with its epoch assigned). Safe for concurrent use.
+func (r *Refresher) Refresh() (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap, err := r.build(r.generation)
+	if err != nil {
+		r.errs.Add(1)
+		return nil, err
+	}
+	r.generation++
+	r.refreshes.Add(1)
+	return r.store.Publish(snap), nil
+}
+
+// Refreshes returns how many snapshots this refresher has published.
+func (r *Refresher) Refreshes() uint64 { return r.refreshes.Load() }
+
+// Errors returns how many builds failed.
+func (r *Refresher) Errors() uint64 { return r.errs.Load() }
+
+// Run publishes an initial snapshot if the store is empty, then
+// republishes every interval until ctx is cancelled. Build errors are
+// counted and reported through onError (nil means ignore); the loop
+// keeps going so a transient failure doesn't stop serving the previous
+// snapshot. With a non-positive interval Run returns after the initial
+// publish.
+func (r *Refresher) Run(ctx context.Context, onError func(error)) error {
+	report := func(err error) {
+		if err != nil && onError != nil {
+			onError(err)
+		}
+	}
+	if r.store.Current() == nil {
+		if _, err := r.Refresh(); err != nil {
+			report(err)
+			if r.store.Current() == nil && r.interval <= 0 {
+				return err
+			}
+		}
+	}
+	if r.interval <= 0 {
+		return nil
+	}
+	tick := time.NewTicker(r.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			_, err := r.Refresh()
+			report(err)
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/pagerank"
+	"repro/internal/topk"
+)
+
+// testGraph is a small power-law graph shared across tests.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.TwitterLike(2000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testBuildConfig keeps engine runs cheap in tests.
+func testBuildConfig(engine Engine) BuildConfig {
+	return BuildConfig{Engine: engine, Machines: 4, Seed: 11, WorkersPerMachine: 1, MaxK: 50}
+}
+
+// buildSnap builds and publishes one snapshot.
+func buildSnap(t testing.TB, store *Store, engine Engine) *Snapshot {
+	t.Helper()
+	snap, err := Build(testGraph(t), testBuildConfig(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.Publish(snap)
+}
+
+func TestStorePublishEpochs(t *testing.T) {
+	st := NewStore()
+	if st.Current() != nil || st.Epoch() != 0 {
+		t.Fatal("fresh store should be empty at epoch 0")
+	}
+	a := buildSnap(t, st, EngineFrogWild)
+	if a.Epoch != 1 || st.Epoch() != 1 || st.Current() != a {
+		t.Fatalf("first publish: epoch %d, store epoch %d", a.Epoch, st.Epoch())
+	}
+	b := buildSnap(t, st, EngineFrogWild)
+	if b.Epoch != 2 || st.Current() != b {
+		t.Fatalf("second publish: epoch %d", b.Epoch)
+	}
+	if a.Epoch != 1 {
+		t.Error("old snapshot's epoch must not change")
+	}
+}
+
+func TestSnapshotTopKMatchesTopkTop(t *testing.T) {
+	snap, err := Build(testGraph(t), testBuildConfig(EngineFrogWild))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(snap.Ranks)
+	for _, k := range []int{1, 5, 20, 50, 51, 100, n, n + 10} {
+		got := snap.TopK(k)
+		want := topk.Top(snap.Ranks, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TopK(%d) != topk.Top (index MaxK=%d)", k, snap.MaxK)
+		}
+	}
+	if snap.TopK(0) != nil || snap.TopK(-1) != nil {
+		t.Error("non-positive k should return nil")
+	}
+	// The returned slice must be a copy, not a window into the index.
+	top := snap.TopK(3)
+	top[0].Score = -1
+	if snap.Top[0].Score == -1 {
+		t.Error("TopK must not alias the precomputed index")
+	}
+}
+
+func TestSnapshotRank(t *testing.T) {
+	snap, err := Build(testGraph(t), testBuildConfig(EngineFrogWild))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := snap.Rank(0); !ok || r != snap.Ranks[0] {
+		t.Errorf("Rank(0) = %v, %v", r, ok)
+	}
+	if _, ok := snap.Rank(uint32(len(snap.Ranks))); ok {
+		t.Error("out-of-range vertex should report !ok")
+	}
+}
+
+func TestFromRanksValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := FromRanks(nil, EngineExact, 0, nil, 10); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, err := FromRanks(g, EngineExact, 0, make([]float64, 3), 10); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestBuildEngines(t *testing.T) {
+	g := testGraph(t)
+	for _, engine := range []Engine{EngineFrogWild, EngineGLPR, EngineExact} {
+		snap, err := Build(g, testBuildConfig(engine))
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if len(snap.Ranks) != g.NumVertices() {
+			t.Fatalf("%s: %d ranks", engine, len(snap.Ranks))
+		}
+		var sum float64
+		for _, r := range snap.Ranks {
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: ranks sum to %v", engine, sum)
+		}
+		if snap.Stats.NumVertices != g.NumVertices() {
+			t.Errorf("%s: stats not populated", engine)
+		}
+	}
+	// The exact engine must agree with the solver it wraps.
+	snap, err := Build(g, testBuildConfig(EngineExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pagerank.Exact(g, pagerank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap.Ranks, ref.Rank) {
+		t.Error("exact engine ranks differ from pagerank.Exact")
+	}
+	if _, err := Build(g, BuildConfig{Engine: "nope"}); err == nil {
+		t.Error("unknown engine should error")
+	}
+	if _, err := Build(nil, BuildConfig{}); err == nil {
+		t.Error("nil graph should error")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, name := range []string{"frogwild", "glpr", "exact"} {
+		if e, err := ParseEngine(name); err != nil || string(e) != name {
+			t.Errorf("ParseEngine(%q) = %v, %v", name, e, err)
+		}
+	}
+	if _, err := ParseEngine("pagerank"); err == nil {
+		t.Error("unknown engine should error")
+	}
+}
+
+func TestRefresherGenerations(t *testing.T) {
+	g := testGraph(t)
+	st := NewStore()
+	r := NewRefresher(st, EngineBuilder(g, testBuildConfig(EngineFrogWild)), 0)
+	a, err := r.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Epoch != 1 || b.Epoch != 2 {
+		t.Fatalf("epochs %d, %d", a.Epoch, b.Epoch)
+	}
+	if a.Seed+1 != b.Seed {
+		t.Errorf("seeds should advance per generation: %d then %d", a.Seed, b.Seed)
+	}
+	if reflect.DeepEqual(a.Ranks, b.Ranks) {
+		t.Error("reseeded frogwild refresh should produce a different estimate")
+	}
+	if r.Refreshes() != 2 || r.Errors() != 0 {
+		t.Errorf("counters: %d refreshes, %d errors", r.Refreshes(), r.Errors())
+	}
+	// Same generation seed ⇒ bit-identical rebuild (determinism).
+	c, err := EngineBuilder(g, testBuildConfig(EngineFrogWild))(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Ranks, a.Ranks) {
+		t.Error("rebuilding generation 0 should be bit-identical")
+	}
+}
+
+func TestRefresherRunPublishesInitialAndStops(t *testing.T) {
+	g := testGraph(t)
+	st := NewStore()
+	r := NewRefresher(st, EngineBuilder(g, testBuildConfig(EngineFrogWild)), 0)
+	if err := r.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 1 {
+		t.Fatalf("one-shot Run should publish once, epoch = %d", st.Epoch())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r2 := NewRefresher(st, EngineBuilder(g, testBuildConfig(EngineFrogWild)), time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- r2.Run(ctx, nil) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Epoch() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run should return ctx.Err(), got %v", err)
+	}
+	if st.Epoch() < 3 {
+		t.Errorf("cadenced Run should keep publishing, epoch = %d", st.Epoch())
+	}
+}
+
+func TestRefresherBuildErrorKeepsServing(t *testing.T) {
+	g := testGraph(t)
+	st := NewStore()
+	ok := EngineBuilder(g, testBuildConfig(EngineFrogWild))
+	calls := 0
+	flaky := func(gen uint64) (*Snapshot, error) {
+		calls++
+		if calls > 1 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return ok(gen)
+	}
+	r := NewRefresher(st, flaky, 0)
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	prev := st.Current()
+	if _, err := r.Refresh(); err == nil {
+		t.Fatal("second refresh should fail")
+	}
+	if st.Current() != prev {
+		t.Error("failed refresh must not unpublish the previous snapshot")
+	}
+	if r.Errors() != 1 {
+		t.Errorf("error counter = %d", r.Errors())
+	}
+}
+
+// newTestServer publishes one frogwild snapshot and wraps the handler
+// in an httptest server.
+func newTestServer(t testing.TB) (*Server, *Store, *httptest.Server) {
+	t.Helper()
+	st := NewStore()
+	buildSnap(t, st, EngineFrogWild)
+	srv := NewServer(st, ServerOptions{Compare: testBuildConfig(EngineFrogWild)})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, st, ts
+}
+
+// getJSON fetches url and decodes the JSON body into out, returning the
+// status code.
+func getJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("bad JSON %q: %v", body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerTopKBitIdentical(t *testing.T) {
+	_, st, ts := newTestServer(t)
+	snap := st.Current()
+	for _, k := range []int{1, 20, 50, 200} {
+		var got topKResponse
+		if code := getJSON(t, ts.URL+"/v1/topk?k="+strconv.Itoa(k), &got); code != http.StatusOK {
+			t.Fatalf("k=%d: status %d", k, code)
+		}
+		want := topk.Top(snap.Ranks, k)
+		if got.Epoch != snap.Epoch || got.Engine != snap.Engine || got.K != len(want) {
+			t.Fatalf("k=%d: header fields %+v", k, got)
+		}
+		if len(got.Entries) != len(want) {
+			t.Fatalf("k=%d: %d entries, want %d", k, len(got.Entries), len(want))
+		}
+		for i, e := range got.Entries {
+			if e.Vertex != want[i].Vertex || e.Score != want[i].Score {
+				t.Fatalf("k=%d entry %d: got %+v want %+v (must be bit-identical)", k, i, e, want[i])
+			}
+		}
+	}
+}
+
+func TestServerTopKDefaultsAndErrors(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	var got topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk", &got); code != http.StatusOK {
+		t.Fatalf("default k: status %d", code)
+	}
+	if got.K != 20 || len(got.Entries) != 20 {
+		t.Errorf("default k should be 20, got %d", got.K)
+	}
+	for _, bad := range []string{"k=0", "k=-3", "k=frog"} {
+		if code := getJSON(t, ts.URL+"/v1/topk?"+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+	// k above the cache bound still answers (uncached path), clamped
+	// to the graph size.
+	var huge topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk?k=999999", &huge); code != http.StatusOK {
+		t.Fatalf("huge k: status %d", code)
+	}
+	if huge.K != 2000 || len(huge.Entries) != 2000 {
+		t.Errorf("huge k should clamp to n=2000, got %d", huge.K)
+	}
+}
+
+func TestServerTopKCacheAndInvalidation(t *testing.T) {
+	srv, st, ts := newTestServer(t)
+	var first topKResponse
+	getJSON(t, ts.URL+"/v1/topk?k=7", &first)
+	hits := srv.CacheHits()
+	var second topKResponse
+	getJSON(t, ts.URL+"/v1/topk?k=7", &second)
+	if srv.CacheHits() != hits+1 {
+		t.Errorf("second identical query should hit the cache (hits %d -> %d)", hits, srv.CacheHits())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached response differs")
+	}
+
+	buildSnap(t, st, EngineGLPR) // swap epochs
+	var third topKResponse
+	getJSON(t, ts.URL+"/v1/topk?k=7", &third)
+	if third.Epoch != 2 || third.Engine != EngineGLPR {
+		t.Errorf("after swap the cache must serve the new epoch, got %+v", third)
+	}
+}
+
+func TestServerRank(t *testing.T) {
+	_, st, ts := newTestServer(t)
+	snap := st.Current()
+	var got rankResponse
+	if code := getJSON(t, ts.URL+"/v1/rank?vertex=17", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Vertex != 17 || got.Rank != snap.Ranks[17] || got.Epoch != snap.Epoch {
+		t.Errorf("rank response %+v", got)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rank", nil); code != http.StatusBadRequest {
+		t.Errorf("missing vertex: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rank?vertex=x", nil); code != http.StatusBadRequest {
+		t.Errorf("bad vertex: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rank?vertex=999999", nil); code != http.StatusNotFound {
+		t.Errorf("out-of-range vertex: status %d", code)
+	}
+}
+
+func TestServerCompare(t *testing.T) {
+	srv, st, ts := newTestServer(t)
+	snap := st.Current()
+	var got compareResponse
+	if code := getJSON(t, ts.URL+"/v1/compare?engine=exact&k=20", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Epoch != snap.Epoch || got.Against != EngineExact || got.K != 20 {
+		t.Fatalf("compare response %+v", got)
+	}
+	if got.NormalizedMass <= 0 || got.NormalizedMass > 1+1e-12 {
+		t.Errorf("normalized mass %v out of (0,1]", got.NormalizedMass)
+	}
+	if got.ExactIdentification < 0 || got.ExactIdentification > 1 {
+		t.Errorf("identification %v out of [0,1]", got.ExactIdentification)
+	}
+	// Verify against a direct computation on the snapshot.
+	ref, err := pagerank.Exact(snap.Graph, pagerank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := topk.NormalizedCapturedMass(ref.Rank, snap.Ranks, 20); got.NormalizedMass != want {
+		t.Errorf("normalized mass %v, want %v", got.NormalizedMass, want)
+	}
+
+	hits := srv.CompareCacheHits()
+	getJSON(t, ts.URL+"/v1/compare?engine=exact&k=50", nil)
+	if srv.CompareCacheHits() != hits+1 {
+		t.Error("second compare against the same engine should reuse the cached reference vector")
+	}
+	if srv.CacheHits() != 0 {
+		t.Error("compare cache reuse must not count as a topk body cache hit")
+	}
+	if code := getJSON(t, ts.URL+"/v1/compare?engine=quantum", nil); code != http.StatusBadRequest {
+		t.Errorf("unknown engine: status %d", code)
+	}
+}
+
+func TestServerStatsAndHealthz(t *testing.T) {
+	st := NewStore()
+	srv := NewServer(st, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code := getJSON(t, ts.URL+"/v1/stats", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("empty store stats: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("empty store healthz: status %d", resp.StatusCode)
+	}
+
+	snap := buildSnap(t, st, EngineFrogWild)
+	var got statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &got); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if got.Epoch != snap.Epoch || got.Engine != EngineFrogWild || got.MaxK != snap.MaxK {
+		t.Errorf("stats %+v", got)
+	}
+	if got.Graph.Vertices != snap.Stats.NumVertices || got.Graph.Edges != snap.Stats.NumEdges {
+		t.Errorf("graph stats %+v", got.Graph)
+	}
+	if got.Serving.Queries == 0 {
+		t.Error("queries counter should count this request")
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after publish: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerMethodNotAllowed(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/topk", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	st := NewStore()
+	buildSnap(t, st, EngineFrogWild)
+	srv := NewServer(st, ServerOptions{})
+	if srv.Addr() != "" {
+		t.Error("Addr should be empty before Serve binds")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, "127.0.0.1:0") }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("server never bound")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown should return nil, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown timed out")
+	}
+}
+
+func TestListenAndServeLifecycle(t *testing.T) {
+	g := testGraph(t)
+	cfg := ServiceConfig{
+		Build:           testBuildConfig(EngineFrogWild),
+		RefreshInterval: 5 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ListenAndServe(ctx, "127.0.0.1:0", g, cfg) }()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clean shutdown should return nil, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ListenAndServe did not stop")
+	}
+
+	// A failing initial build surfaces immediately.
+	if err := ListenAndServe(ctx, "127.0.0.1:0", g, ServiceConfig{
+		Build: BuildConfig{Engine: "bogus"},
+	}); err == nil {
+		t.Error("bad engine should fail the initial build")
+	}
+	// A bad address surfaces as a listen error.
+	if err := ListenAndServe(context.Background(), "256.0.0.1:http", g, cfg); err == nil {
+		t.Error("unlistenable address should error")
+	}
+}
+
+func TestNewServiceInitialSnapshot(t *testing.T) {
+	g := testGraph(t)
+	srv, refresher, err := NewService(g, ServiceConfig{Build: testBuildConfig(EngineFrogWild)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refresher.Refreshes() != 1 {
+		t.Errorf("NewService should publish the initial snapshot, refreshes = %d", refresher.Refreshes())
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var got topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk?k=5", &got); code != http.StatusOK || got.Epoch != 1 {
+		t.Errorf("service topk: code %d, %+v", code, got)
+	}
+}

@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// maxCachedK bounds the per-k response cache: queries above it are
+// still served (and coalesced) but their bodies are not retained, so an
+// adversarial k sweep cannot grow the cache without bound.
+const maxCachedK = 4096
+
+// ServerOptions tunes a Server beyond its Store.
+type ServerOptions struct {
+	// Compare is the BuildConfig template for /v1/compare runs; the
+	// query's engine overrides its Engine and the current snapshot's
+	// seed replaces its Seed (so a comparison is deterministic per
+	// epoch). Zero value means engine defaults.
+	Compare BuildConfig
+	// Refresher, when set, contributes refresh counters to /v1/stats.
+	Refresher *Refresher
+}
+
+// Server answers the top-k PageRank query over HTTP from whatever
+// snapshot its Store currently publishes.
+//
+// API (all GET, all JSON, every response stamped with the snapshot
+// epoch it was answered from):
+//
+//	/v1/topk?k=20            top-k vertices with scores
+//	/v1/rank?vertex=17       one vertex's estimated rank
+//	/v1/compare?engine=exact&k=20
+//	                         accuracy of the served estimate vs another
+//	                         engine run on the same graph (computed on
+//	                         demand, cached per epoch)
+//	/v1/stats                snapshot provenance, graph stats, serving
+//	                         counters
+//	/healthz                 200 once a snapshot is published
+//
+// Identical concurrent queries are coalesced (singleflight) and top-k
+// bodies are cached per (epoch, k), so a hot k costs one selection and
+// one JSON marshal per epoch.
+type Server struct {
+	store *Store
+	opts  ServerOptions
+	mux   *http.ServeMux
+
+	// topkMu guards the per-k body cache; topkEpoch stamps which
+	// epoch the cached bodies belong to (the map is flushed lazily
+	// when the store moves on).
+	topkMu      sync.Mutex
+	topkEpoch   uint64
+	topkCache   map[int][]byte
+	topkFlights flightGroup[[2]uint64, []byte]
+
+	// compare runs are far more expensive than topk marshals; they
+	// get their own cache (per epoch+engine) and flight group.
+	compareMu      sync.Mutex
+	compareEpoch   uint64
+	compareCache   map[Engine][]float64
+	compareFlights flightGroup[string, []float64]
+
+	queries     atomic.Uint64
+	cacheHits   atomic.Uint64
+	compareHits atomic.Uint64
+	coalesced   atomic.Uint64
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// NewServer builds a server over store.
+func NewServer(store *Store, opts ServerOptions) *Server {
+	s := &Server{store: store, opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/topk", s.get(s.handleTopK))
+	mux.HandleFunc("/v1/rank", s.get(s.handleRank))
+	mux.HandleFunc("/v1/compare", s.get(s.handleCompare))
+	mux.HandleFunc("/v1/stats", s.get(s.handleStats))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Queries returns the total query count across the /v1 endpoints.
+func (s *Server) Queries() uint64 { return s.queries.Load() }
+
+// CacheHits returns how many /v1/topk queries were answered from the
+// per-k body cache.
+func (s *Server) CacheHits() uint64 { return s.cacheHits.Load() }
+
+// CompareCacheHits returns how many /v1/compare queries reused a
+// cached reference vector instead of recomputing it.
+func (s *Server) CompareCacheHits() uint64 { return s.compareHits.Load() }
+
+// Coalesced returns how many queries joined an in-flight identical
+// computation instead of starting their own.
+func (s *Server) Coalesced() uint64 { return s.coalesced.Load() }
+
+// get wraps a handler with method filtering and query counting.
+func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			s.fail(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		s.queries.Add(1)
+		h(w, r)
+	}
+}
+
+// fail writes a JSON error body.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(body, '\n'))
+}
+
+// reply writes a marshaled JSON body.
+func (s *Server) reply(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// current returns the published snapshot or writes a 503.
+func (s *Server) current(w http.ResponseWriter) *Snapshot {
+	snap := s.store.Current()
+	if snap == nil {
+		s.fail(w, http.StatusServiceUnavailable, "no snapshot published yet")
+	}
+	return snap
+}
+
+// topKEntry is the JSON shape of one result row.
+type topKEntry struct {
+	Vertex uint32  `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// topKResponse is the /v1/topk body.
+type topKResponse struct {
+	Epoch   uint64      `json:"epoch"`
+	Engine  Engine      `json:"engine"`
+	Seed    uint64      `json:"seed"`
+	K       int         `json:"k"`
+	Entries []topKEntry `json:"entries"`
+}
+
+// marshalTopK builds the /v1/topk body for one (snapshot, k) pair.
+func marshalTopK(snap *Snapshot, k int) ([]byte, error) {
+	entries := snap.TopK(k)
+	rows := make([]topKEntry, len(entries))
+	for i, e := range entries {
+		rows[i] = topKEntry{Vertex: e.Vertex, Score: e.Score}
+	}
+	body, err := json.Marshal(topKResponse{
+		Epoch:   snap.Epoch,
+		Engine:  snap.Engine,
+		Seed:    snap.Seed,
+		K:       len(rows),
+		Entries: rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	snap := s.current(w)
+	if snap == nil {
+		return
+	}
+	k, err := parsePositiveInt(r.URL.Query().Get("k"), 20)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad k: %v", err)
+		return
+	}
+
+	cacheable := k <= maxCachedK
+	if cacheable {
+		s.topkMu.Lock()
+		if s.topkEpoch == snap.Epoch {
+			if body, ok := s.topkCache[k]; ok {
+				s.topkMu.Unlock()
+				s.cacheHits.Add(1)
+				s.reply(w, body)
+				return
+			}
+		}
+		s.topkMu.Unlock()
+	}
+
+	body, err, shared := s.topkFlights.Do([2]uint64{snap.Epoch, uint64(k)}, func() ([]byte, error) {
+		return marshalTopK(snap, k)
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if cacheable && !shared {
+		s.topkMu.Lock()
+		if s.topkEpoch != snap.Epoch {
+			// The store moved on (or this is the first fill for this
+			// epoch): restart the cache so stale-epoch bodies are
+			// never mixed with fresh ones. Only newer epochs replace
+			// the cache — a slow goroutine holding an old snapshot
+			// must not clobber current entries.
+			if snap.Epoch > s.topkEpoch {
+				s.topkEpoch = snap.Epoch
+				s.topkCache = make(map[int][]byte)
+				s.topkCache[k] = body
+			}
+		} else {
+			s.topkCache[k] = body
+		}
+		s.topkMu.Unlock()
+	}
+	s.reply(w, body)
+}
+
+// rankResponse is the /v1/rank body.
+type rankResponse struct {
+	Epoch  uint64  `json:"epoch"`
+	Engine Engine  `json:"engine"`
+	Vertex uint32  `json:"vertex"`
+	Rank   float64 `json:"rank"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	snap := s.current(w)
+	if snap == nil {
+		return
+	}
+	raw := r.URL.Query().Get("vertex")
+	if raw == "" {
+		s.fail(w, http.StatusBadRequest, "missing vertex parameter")
+		return
+	}
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad vertex: %v", err)
+		return
+	}
+	rank, ok := snap.Rank(graph.VertexID(v))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "vertex %d not in graph (n=%d)", v, len(snap.Ranks))
+		return
+	}
+	body, err := json.Marshal(rankResponse{
+		Epoch: snap.Epoch, Engine: snap.Engine, Vertex: uint32(v), Rank: rank,
+	})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.reply(w, append(body, '\n'))
+}
+
+// compareResponse is the /v1/compare body: the served estimate's
+// accuracy metrics against another engine run on the same graph, with
+// the comparison engine treated as the reference.
+type compareResponse struct {
+	Epoch               uint64  `json:"epoch"`
+	Engine              Engine  `json:"engine"`
+	Against             Engine  `json:"against"`
+	K                   int     `json:"k"`
+	CapturedMass        float64 `json:"capturedMass"`
+	NormalizedMass      float64 `json:"normalizedMass"`
+	ExactIdentification float64 `json:"exactIdentification"`
+	L1Distance          float64 `json:"l1Distance"`
+}
+
+// referenceRanks computes (or fetches the cached) comparison vector for
+// the snapshot's graph and epoch.
+func (s *Server) referenceRanks(snap *Snapshot, engine Engine) ([]float64, error) {
+	s.compareMu.Lock()
+	if s.compareEpoch == snap.Epoch {
+		if ranks, ok := s.compareCache[engine]; ok {
+			s.compareMu.Unlock()
+			s.compareHits.Add(1)
+			return ranks, nil
+		}
+	}
+	s.compareMu.Unlock()
+
+	key := fmt.Sprintf("%d/%s", snap.Epoch, engine)
+	ranks, err, shared := s.compareFlights.Do(key, func() ([]float64, error) {
+		cfg := s.opts.Compare
+		if engine != cfg.Engine {
+			// The template's tuning knobs belong to the serving
+			// engine; a different reference engine runs with its own
+			// defaults (e.g. glpr to tolerance, not the serving
+			// engine's truncated iteration budget). Infrastructure
+			// knobs (machines, workers, teleport) stay shared.
+			cfg.Walkers, cfg.Iterations, cfg.PS = 0, 0, 0
+		}
+		cfg.Engine = engine
+		cfg.Seed = snap.Seed
+		cfg = cfg.withDefaults(snap.Graph.NumVertices())
+		return computeRanks(snap.Graph, cfg)
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.compareMu.Lock()
+	if s.compareEpoch != snap.Epoch {
+		if snap.Epoch > s.compareEpoch {
+			s.compareEpoch = snap.Epoch
+			s.compareCache = map[Engine][]float64{engine: ranks}
+		}
+	} else {
+		if s.compareCache == nil {
+			s.compareCache = make(map[Engine][]float64)
+		}
+		s.compareCache[engine] = ranks
+	}
+	s.compareMu.Unlock()
+	return ranks, nil
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	snap := s.current(w)
+	if snap == nil {
+		return
+	}
+	engine, err := ParseEngine(valueOr(r.URL.Query().Get("engine"), string(EngineExact)))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := parsePositiveInt(r.URL.Query().Get("k"), 20)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad k: %v", err)
+		return
+	}
+	ref, err := s.referenceRanks(snap, engine)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "compare run: %v", err)
+		return
+	}
+	body, err := json.Marshal(compareResponse{
+		Epoch:               snap.Epoch,
+		Engine:              snap.Engine,
+		Against:             engine,
+		K:                   k,
+		CapturedMass:        topk.CapturedMass(ref, snap.Ranks, k),
+		NormalizedMass:      topk.NormalizedCapturedMass(ref, snap.Ranks, k),
+		ExactIdentification: topk.ExactIdentification(ref, snap.Ranks, k),
+		L1Distance:          topk.L1Distance(ref, snap.Ranks),
+	})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.reply(w, append(body, '\n'))
+}
+
+// statsResponse is the /v1/stats body.
+type statsResponse struct {
+	Epoch        uint64     `json:"epoch"`
+	Engine       Engine     `json:"engine"`
+	Seed         uint64     `json:"seed"`
+	BuiltAt      time.Time  `json:"builtAt"`
+	BuildSeconds float64    `json:"buildSeconds"`
+	MaxK         int        `json:"maxK"`
+	Graph        graphStats `json:"graph"`
+	Serving      serveStats `json:"serving"`
+}
+
+type graphStats struct {
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	MinOutDeg int     `json:"minOutDeg"`
+	MaxOutDeg int     `json:"maxOutDeg"`
+	MaxInDeg  int     `json:"maxInDeg"`
+	MeanDeg   float64 `json:"meanDeg"`
+	GiniOut   float64 `json:"giniOut"`
+}
+
+type serveStats struct {
+	Queries          uint64 `json:"queries"`
+	TopKCacheHits    uint64 `json:"topkCacheHits"`
+	CompareCacheHits uint64 `json:"compareCacheHits"`
+	Coalesced        uint64 `json:"coalesced"`
+	Refreshes        uint64 `json:"refreshes"`
+	BuildErrors      uint64 `json:"buildErrors"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.current(w)
+	if snap == nil {
+		return
+	}
+	serving := serveStats{
+		Queries:          s.queries.Load(),
+		TopKCacheHits:    s.cacheHits.Load(),
+		CompareCacheHits: s.compareHits.Load(),
+		Coalesced:        s.coalesced.Load(),
+	}
+	if ref := s.opts.Refresher; ref != nil {
+		serving.Refreshes = ref.Refreshes()
+		serving.BuildErrors = ref.Errors()
+	}
+	body, err := json.Marshal(statsResponse{
+		Epoch:        snap.Epoch,
+		Engine:       snap.Engine,
+		Seed:         snap.Seed,
+		BuiltAt:      snap.BuiltAt,
+		BuildSeconds: snap.BuildSeconds,
+		MaxK:         snap.MaxK,
+		Graph: graphStats{
+			Vertices:  snap.Stats.NumVertices,
+			Edges:     snap.Stats.NumEdges,
+			MinOutDeg: snap.Stats.MinOutDeg,
+			MaxOutDeg: snap.Stats.MaxOutDeg,
+			MaxInDeg:  snap.Stats.MaxInDeg,
+			MeanDeg:   snap.Stats.MeanDeg,
+			GiniOut:   snap.Stats.GiniOut,
+		},
+		Serving: serving,
+	})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.reply(w, append(body, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.store.Current() == nil {
+		http.Error(w, "no snapshot", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Serve listens on addr and serves until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to 5 seconds to finish).
+// It returns nil on a clean ctx-triggered shutdown.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serveListener(ctx, ln)
+}
+
+// Addr returns the listening address once Serve has bound it ("" before
+// that) — handy when addr was ":0".
+func (s *Server) Addr() string {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// serveListener runs the http.Server lifecycle over an existing
+// listener.
+func (s *Server) serveListener(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.listener = ln
+	s.httpMu.Unlock()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// parsePositiveInt parses a strictly positive integer, returning def
+// for the empty string.
+func parsePositiveInt(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("must be positive, got %d", v)
+	}
+	return v, nil
+}
+
+// valueOr returns raw unless it is empty.
+func valueOr(raw, def string) string {
+	if raw == "" {
+		return def
+	}
+	return raw
+}

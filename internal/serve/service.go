@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// ServiceConfig bundles everything the one-call service needs.
+type ServiceConfig struct {
+	// Build says how snapshots are computed (engine, knobs, seed).
+	Build BuildConfig
+	// RefreshInterval is the background recompute cadence; 0 serves
+	// the initial snapshot forever.
+	RefreshInterval time.Duration
+	// OnRefreshError observes background build failures (nil = ignore;
+	// the previous snapshot keeps serving either way).
+	OnRefreshError func(error)
+}
+
+// ListenAndServe builds an initial snapshot of g, starts the background
+// refresher (if an interval is set), and serves the query API on addr
+// until ctx is cancelled, shutting down gracefully. The initial build
+// is synchronous so the service is never up without an answer.
+func ListenAndServe(ctx context.Context, addr string, g *graph.Graph, cfg ServiceConfig) error {
+	srv, refresher, err := NewService(g, cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.RefreshInterval > 0 {
+		rctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go refresher.Run(rctx, cfg.OnRefreshError)
+	}
+	return srv.Serve(ctx, addr)
+}
+
+// NewService assembles the store/refresher/server stack and publishes
+// the initial snapshot synchronously. Callers that want background
+// refresh run refresher.Run themselves (ListenAndServe does).
+func NewService(g *graph.Graph, cfg ServiceConfig) (*Server, *Refresher, error) {
+	store := NewStore()
+	refresher := NewRefresher(store, EngineBuilder(g, cfg.Build), cfg.RefreshInterval)
+	if _, err := refresher.Refresh(); err != nil {
+		return nil, nil, err
+	}
+	srv := NewServer(store, ServerOptions{Compare: cfg.Build, Refresher: refresher})
+	return srv, refresher, nil
+}

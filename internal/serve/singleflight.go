@@ -1,0 +1,44 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution whose result every waiter shares — the standard
+// singleflight pattern, reimplemented generically because this module
+// is stdlib-only.
+type flightGroup[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do runs fn once per concurrent set of callers sharing key; every
+// caller gets the same result. shared reports whether the caller
+// joined an in-flight execution instead of starting one.
+func (g *flightGroup[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

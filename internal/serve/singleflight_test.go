@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup[int, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan int, 1)
+	go func() {
+		v, err, shared := g.Do(1, func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: v=%d err=%v shared=%v", v, err, shared)
+		}
+		leaderDone <- v
+	}()
+	<-started
+
+	// Joiners on the same key must wait for the leader's result, not
+	// run their own fn. (A joiner scheduled pathologically late could
+	// arrive after the leader lands and legitimately lead a fresh
+	// call; its fn tolerates that but flags running while the leader
+	// is still in flight.)
+	const joiners = 4
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int32
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do(1, func() (int, error) {
+				select {
+				case <-release:
+					return 7, nil // fresh call after the flight landed
+				default:
+					t.Error("joiner fn ran while the leader was in flight")
+					return -1, nil
+				}
+			})
+			if v != 7 || err != nil {
+				t.Errorf("joiner: v=%d err=%v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// A different key runs independently even while key 1 is in flight.
+	if v, err, shared := g.Do(2, func() (int, error) { return 9, nil }); v != 9 || err != nil || shared {
+		t.Errorf("independent key: v=%d err=%v shared=%v", v, err, shared)
+	}
+	time.Sleep(50 * time.Millisecond) // let the joiners reach Do
+	close(release)
+	wg.Wait()
+	if sharedCount.Load() == 0 {
+		t.Error("no joiner coalesced onto the in-flight call")
+	}
+	if v := <-leaderDone; v != 7 {
+		t.Errorf("leader result %d", v)
+	}
+
+	// After the flight lands, the key is free again: a new call runs.
+	if v, _, shared := g.Do(1, func() (int, error) { return 8, nil }); v != 8 || shared {
+		t.Errorf("fresh call after completion: v=%d shared=%v", v, shared)
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	var g flightGroup[string, int]
+	want := errors.New("boom")
+	if _, err, _ := g.Do("k", func() (int, error) { return 0, want }); err != want {
+		t.Errorf("err = %v", err)
+	}
+}

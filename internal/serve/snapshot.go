@@ -1,0 +1,260 @@
+// Package serve turns the batch reproduction into a query service: the
+// paper's point is that FrogWild answers the top-k PageRank query fast
+// enough to be interactive, so this package holds a computed result and
+// answers queries from it.
+//
+// The moving parts:
+//
+//   - Snapshot: an immutable view of one completed estimate — the
+//     per-vertex ranks, a precomputed top-MaxK index, graph stats, and
+//     the provenance (engine, seed, epoch) that produced it.
+//   - Store: publishes snapshots through an atomic.Pointer so readers
+//     are lock-free and always see a complete, internally consistent
+//     snapshot.
+//   - Refresher: recomputes estimates on a cadence (or on demand) and
+//     swaps the result into the Store atomically.
+//   - Server: an HTTP JSON API over a Store with per-k response
+//     caching, request coalescing, and graceful shutdown.
+//
+// Every response carries the snapshot's epoch, so clients can detect
+// staleness and correlate answers across endpoints.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/frogwild"
+	"repro/internal/glpr"
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+	"repro/internal/topk"
+)
+
+// Engine names an estimate producer a Snapshot can be built from.
+type Engine string
+
+// Engines the serving layer can run.
+const (
+	// EngineFrogWild runs the paper's fast approximation on the
+	// simulated cluster (the intended serving configuration).
+	EngineFrogWild Engine = "frogwild"
+	// EngineGLPR runs synchronous power iteration on the same engine
+	// (the paper's principal baseline).
+	EngineGLPR Engine = "glpr"
+	// EngineExact runs serial-reference power iteration to
+	// convergence (ground truth; slowest).
+	EngineExact Engine = "exact"
+)
+
+// ParseEngine converts a name into an Engine.
+func ParseEngine(name string) (Engine, error) {
+	switch Engine(name) {
+	case EngineFrogWild, EngineGLPR, EngineExact:
+		return Engine(name), nil
+	}
+	return "", fmt.Errorf("serve: unknown engine %q (want frogwild|glpr|exact)", name)
+}
+
+// DefaultMaxK is the top index size when BuildConfig.MaxK is zero:
+// queries up to this k are answered from the precomputed index.
+const DefaultMaxK = 100
+
+// BuildConfig says how to compute a Snapshot's estimate. The zero
+// value selects FrogWild with the paper's defaults (n/6 walkers, 4
+// iterations, ps=0.7, 16 machines).
+type BuildConfig struct {
+	// Engine selects the estimate producer; zero value is FrogWild.
+	Engine Engine
+	// Walkers is FrogWild's frog count N; 0 selects n/6 (min 100).
+	Walkers int
+	// Iterations is the superstep budget for frogwild (walk cutoff,
+	// default 4) and glpr (reduced iterations; 0 runs glpr to
+	// tolerance).
+	Iterations int
+	// PS is the mirror-synchronization probability; 0 selects 0.7.
+	PS float64
+	// Teleport is pT; 0 selects the conventional 0.15.
+	Teleport float64
+	// Machines is the simulated cluster size; 0 selects 16.
+	Machines int
+	// WorkersPerMachine shards each simulated machine's engine phases
+	// (0 divides GOMAXPROCS across machines, 1 is serial per machine).
+	WorkersPerMachine int
+	// Workers shards the exact engine's power iteration (0 = all
+	// cores).
+	Workers int
+	// Seed drives the run; the Refresher derives a fresh seed from it
+	// per generation.
+	Seed uint64
+	// MaxK is the precomputed top index size; 0 selects DefaultMaxK.
+	MaxK int
+}
+
+// withDefaults resolves the zero values.
+func (c BuildConfig) withDefaults(n int) BuildConfig {
+	if c.Engine == "" {
+		c.Engine = EngineFrogWild
+	}
+	if c.Walkers == 0 {
+		c.Walkers = max(n/6, 100)
+	}
+	if c.Iterations == 0 && c.Engine == EngineFrogWild {
+		c.Iterations = 4
+	}
+	if c.PS == 0 {
+		c.PS = 0.7
+	}
+	if c.Machines == 0 {
+		c.Machines = 16
+	}
+	if c.MaxK == 0 {
+		c.MaxK = DefaultMaxK
+	}
+	return c
+}
+
+// Snapshot is one immutable published answer to the top-k PageRank
+// query: the full estimate vector plus a precomputed top-MaxK index.
+// All fields are set before the snapshot is published and never
+// mutated afterwards, so lock-free readers are safe.
+type Snapshot struct {
+	// Epoch is the publication sequence number the Store assigned
+	// (first publish = 1). Every API response carries it.
+	Epoch uint64
+	// Engine and Seed are the provenance of the estimate.
+	Engine Engine
+	Seed   uint64
+	// BuiltAt is when the build finished; BuildSeconds how long the
+	// estimate took to compute.
+	BuiltAt      time.Time
+	BuildSeconds float64
+	// Graph is the graph the estimate was computed on, retained for
+	// on-demand comparison runs.
+	Graph *graph.Graph
+	// Stats summarizes the graph's degree structure.
+	Stats graph.Stats
+	// Ranks is the per-vertex estimate (sums to 1).
+	Ranks []float64
+	// Top is topk.Top(Ranks, MaxK), the precomputed index queries are
+	// answered from.
+	Top []topk.Entry
+	// MaxK is the index size.
+	MaxK int
+}
+
+// TopK returns the k highest-ranked vertices in descending order,
+// bit-identical to topk.Top(s.Ranks, k). Queries with k <= MaxK are a
+// copy of the precomputed index prefix (the prefix property holds
+// because topk's ordering is total); larger k falls back to a full
+// selection. The result is freshly allocated and safe to modify.
+func (s *Snapshot) TopK(k int) []topk.Entry {
+	if k <= 0 {
+		return nil
+	}
+	if k <= s.MaxK || s.MaxK >= len(s.Ranks) {
+		if k > len(s.Top) {
+			k = len(s.Top)
+		}
+		out := make([]topk.Entry, k)
+		copy(out, s.Top[:k])
+		return out
+	}
+	return topk.Top(s.Ranks, k)
+}
+
+// Rank returns vertex v's estimated PageRank and whether v exists.
+func (s *Snapshot) Rank(v graph.VertexID) (float64, bool) {
+	if int(v) >= len(s.Ranks) {
+		return 0, false
+	}
+	return s.Ranks[int(v)], true
+}
+
+// FromRanks wraps an already-computed estimate vector in a Snapshot
+// (index precomputed, epoch 0 until published). The vector is retained,
+// not copied: callers hand over ownership.
+func FromRanks(g *graph.Graph, engine Engine, seed uint64, ranks []float64, maxK int) (*Snapshot, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, errors.New("serve: empty graph")
+	}
+	if len(ranks) != g.NumVertices() {
+		return nil, fmt.Errorf("serve: %d ranks for %d vertices", len(ranks), g.NumVertices())
+	}
+	if maxK <= 0 {
+		maxK = DefaultMaxK
+	}
+	return &Snapshot{
+		Engine:  engine,
+		Seed:    seed,
+		BuiltAt: time.Now(),
+		Graph:   g,
+		Stats:   graph.ComputeStats(g),
+		Ranks:   ranks,
+		Top:     topk.Top(ranks, maxK),
+		MaxK:    maxK,
+	}, nil
+}
+
+// Build computes an estimate with the configured engine and wraps it in
+// an unpublished Snapshot (epoch 0 until a Store publishes it).
+func Build(g *graph.Graph, cfg BuildConfig) (*Snapshot, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, errors.New("serve: empty graph")
+	}
+	cfg = cfg.withDefaults(g.NumVertices())
+	start := time.Now()
+	ranks, err := computeRanks(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := FromRanks(g, cfg.Engine, cfg.Seed, ranks, cfg.MaxK)
+	if err != nil {
+		return nil, err
+	}
+	snap.BuildSeconds = time.Since(start).Seconds()
+	return snap, nil
+}
+
+// computeRanks dispatches to the configured engine.
+func computeRanks(g *graph.Graph, cfg BuildConfig) ([]float64, error) {
+	switch cfg.Engine {
+	case EngineFrogWild:
+		res, err := frogwild.Run(g, frogwild.Config{
+			Walkers:           cfg.Walkers,
+			Iterations:        cfg.Iterations,
+			PS:                cfg.PS,
+			Teleport:          cfg.Teleport,
+			Machines:          cfg.Machines,
+			WorkersPerMachine: cfg.WorkersPerMachine,
+			Seed:              cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Estimate, nil
+	case EngineGLPR:
+		res, err := glpr.Run(g, glpr.Config{
+			Machines:          cfg.Machines,
+			Teleport:          cfg.Teleport,
+			Iterations:        cfg.Iterations,
+			WorkersPerMachine: cfg.WorkersPerMachine,
+			Seed:              cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Rank, nil
+	case EngineExact:
+		res, err := pagerank.Exact(g, pagerank.Options{
+			Teleport: cfg.Teleport,
+			Workers:  cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Rank, nil
+	}
+	return nil, fmt.Errorf("serve: unknown engine %q", cfg.Engine)
+}

@@ -8,7 +8,6 @@
 package topk
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -18,25 +17,41 @@ type Entry struct {
 	Score  float64
 }
 
-// entryHeap is a min-heap over scores (ties broken by larger vertex id
-// so the heap keeps smaller ids, making selection deterministic).
+// entryHeap is a typed min-heap over the entryLess total order: the
+// root is the weakest retained entry, so selection keeps the k
+// strongest. Typed sift methods avoid container/heap's boxing through
+// interface values on the hot selection path.
 type entryHeap []Entry
 
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
+// siftUp restores heap order after appending at index i.
+func (h entryHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	return h[i].Vertex > h[j].Vertex
 }
-func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
-func (h *entryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// siftDown restores heap order after replacing index i.
+func (h entryHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && entryLess(h[l], h[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && entryLess(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // Top returns the k highest-scoring entries in descending score order.
@@ -53,17 +68,25 @@ func Top(scores []float64, k int) []Entry {
 	for v, s := range scores {
 		e := Entry{Vertex: uint32(v), Score: s}
 		if len(h) < k {
-			heap.Push(&h, e)
+			h = append(h, e)
+			h.siftUp(len(h) - 1)
 			continue
 		}
 		if entryLess(h[0], e) {
 			h[0] = e
-			heap.Fix(&h, 0)
+			h.siftDown(0)
 		}
 	}
+	// Pop the weakest into the tail until the heap drains: descending
+	// output. The ordering is total, so the result is unique no matter
+	// how the heap arranged itself internally.
 	out := make([]Entry, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Entry)
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		h.siftDown(0)
 	}
 	return out
 }

@@ -51,6 +51,44 @@ func TestTopTiesDeterministic(t *testing.T) {
 	}
 }
 
+// TestTopTieBreakPinned pins the documented tie-break: on equal
+// scores the smaller vertex id wins, including across the selection
+// boundary and regardless of input position.
+func TestTopTieBreakPinned(t *testing.T) {
+	// All-equal scores: the top-k must be exactly ids 0..k-1 in order.
+	same := make([]float64, 64)
+	for i := range same {
+		same[i] = 0.25
+	}
+	for _, k := range []int{1, 3, 63, 64} {
+		top := Top(same, k)
+		if len(top) != k {
+			t.Fatalf("k=%d: len %d", k, len(top))
+		}
+		for i, e := range top {
+			if e.Vertex != uint32(i) {
+				t.Fatalf("k=%d: position %d holds vertex %d, want %d (smaller id must win ties)",
+					k, i, e.Vertex, i)
+			}
+		}
+	}
+	// A tie straddling the cut: vertices 1, 3, 4 share the boundary
+	// score; k=2 must keep {0} and then the smallest tied id, 1.
+	scores := []float64{0.9, 0.5, 0.1, 0.5, 0.5}
+	top := Top(scores, 2)
+	if top[0].Vertex != 0 || top[1].Vertex != 1 {
+		t.Errorf("boundary tie: got %v, want vertices [0 1]", top)
+	}
+	// k=4 keeps all three tied vertices ordered by id.
+	top = Top(scores, 4)
+	want := []uint32{0, 1, 3, 4}
+	for i, e := range top {
+		if e.Vertex != want[i] {
+			t.Fatalf("k=4: got %v, want vertex order %v", top, want)
+		}
+	}
+}
+
 func TestTopMatchesSortProperty(t *testing.T) {
 	r := rng.New(3)
 	f := func(nRaw, kRaw uint8) bool {

@@ -39,6 +39,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/frogwild"
 	"repro/internal/gas"
@@ -49,6 +51,7 @@ import (
 	"repro/internal/graph/gio"
 	"repro/internal/montecarlo"
 	"repro/internal/pagerank"
+	"repro/internal/serve"
 	"repro/internal/sparsify"
 	"repro/internal/theory"
 	"repro/internal/topk"
@@ -366,6 +369,49 @@ func KendallTauTopK(exact, estimate []float64, k int) float64 {
 // PrecisionAtK is ExactIdentification with credit for boundary ties.
 func PrecisionAtK(exact, estimate []float64, k int) float64 {
 	return topk.PrecisionAtK(exact, estimate, k)
+}
+
+// Snapshot is an immutable published answer to the top-k PageRank
+// query: per-vertex ranks, a precomputed top index, graph stats, and
+// the provenance (engine, seed, epoch) that produced it. Its TopK
+// method is bit-identical to TopK on the snapshot's scores.
+type Snapshot = serve.Snapshot
+
+// SnapshotConfig says how a snapshot's estimate is computed; the zero
+// value selects FrogWild with the paper's defaults.
+type SnapshotConfig = serve.BuildConfig
+
+// ServeConfig bundles the snapshot build configuration with the
+// background refresh cadence for Serve.
+type ServeConfig = serve.ServiceConfig
+
+// ServeEngine names an estimate producer the serving layer can run.
+type ServeEngine = serve.Engine
+
+// Engines the serving layer can run.
+const (
+	// ServeEngineFrogWild serves FrogWild estimates (the intended
+	// configuration: fast approximate answers, refreshed out of band).
+	ServeEngineFrogWild = serve.EngineFrogWild
+	// ServeEngineGLPR serves synchronous power-iteration estimates.
+	ServeEngineGLPR = serve.EngineGLPR
+	// ServeEngineExact serves converged exact PageRank.
+	ServeEngineExact = serve.EngineExact
+)
+
+// NewSnapshot computes an estimate of g's PageRank with the configured
+// engine and wraps it in an immutable, query-ready snapshot (top index
+// precomputed; epoch 0 until a serving store publishes it).
+func NewSnapshot(g *Graph, cfg SnapshotConfig) (*Snapshot, error) {
+	return serve.Build(g, cfg)
+}
+
+// Serve computes an initial snapshot of g, then serves the top-k
+// PageRank query API on addr until ctx is cancelled (graceful
+// shutdown), refreshing the snapshot in the background on the
+// configured cadence. See cmd/prserve for the endpoint table.
+func Serve(ctx context.Context, addr string, g *Graph, cfg ServeConfig) error {
+	return serve.ListenAndServe(ctx, addr, g, cfg)
 }
 
 // FrogEstimator selects what FrogWild's per-vertex tally counts.
