@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -485,6 +486,52 @@ func BenchmarkServeRank(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "queries/s")
 	}
+}
+
+// benchLoadHandler caches the in-process serving handler over the 50k
+// graph for the load-generator benchmark (snapshot build is setup).
+var benchLoadHandler = sync.OnceValue(func() http.Handler {
+	handler, err := repro.NewServerHandler(benchGraph50k(), repro.SnapshotConfig{
+		Engine:   repro.ServeEngineFrogWild,
+		Machines: 4,
+		Seed:     7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return handler
+})
+
+// BenchmarkLoadGenServe drives the serving handler with the
+// deterministic Zipf-skewed mixed workload — the same shape the CI
+// perf gate runs via cmd/prload — and reports aggregate queries/s plus
+// the p99 of the mix. One b.N iteration is one complete measured run
+// (2000 queries after 200 warmup), so -benchtime=1x in CI costs one
+// run.
+func BenchmarkLoadGenServe(b *testing.B) {
+	handler := benchLoadHandler()
+	cfg := repro.LoadConfig{
+		Seed:        1,
+		Queries:     2000,
+		Warmup:      200,
+		Concurrency: 8,
+		Vertices:    benchGraph50k().NumVertices(),
+	}
+	var last *repro.LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := repro.RunLoadTest(context.Background(), cfg, handler)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if total := rep.Total(); total.Errors > 0 {
+			b.Fatalf("%d load-test queries failed", total.Errors)
+		}
+		last = rep
+	}
+	total := last.Total()
+	b.ReportMetric(last.QueriesPerSecond(), "queries/s")
+	b.ReportMetric(float64(total.Hist.QuantileDuration(0.99))/float64(time.Millisecond), "p99/ms")
 }
 
 // BenchmarkSnapshotTopK measures the in-process answer path (index

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// trackedMetric reports whether a metric gates the comparison: the
+// throughput-shaped ones, where higher is better and a drop is a
+// regression. Everything else (ns/op, p99/ms, counters) is printed for
+// context but never fails the gate — latency percentiles on shared CI
+// runners are too noisy to block merges on, while throughput over a
+// multi-thousand-query run is stable enough to.
+func trackedMetric(name string) bool {
+	return strings.HasSuffix(name, "/s") || strings.HasPrefix(name, "speedup")
+}
+
+// compareRow is one metric's comparison.
+type compareRow struct {
+	bench, metric string
+	base, cur     float64
+	delta         float64 // relative: (cur-base)/base
+	tracked       bool
+	regressed     bool
+	missing       bool // metric absent from the current report (≠ measured zero)
+}
+
+// compareReports diffs current against baseline. Tracked metrics
+// regress when current < baseline·(1-threshold); a benchmark present
+// in the baseline with tracked metrics but missing from current is a
+// regression too (a gate that can pass by losing its measurements is
+// no gate).
+func compareReports(baseline, current *Report, threshold float64) (rows []compareRow, missing []string, regressed bool) {
+	curByName := make(map[string]Benchmark, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		curByName[b.Name] = b
+	}
+	for _, base := range baseline.Benchmarks {
+		cur, ok := curByName[base.Name]
+		if !ok {
+			for metric := range base.Metrics {
+				if trackedMetric(metric) {
+					missing = append(missing, base.Name)
+					regressed = true
+					break
+				}
+			}
+			continue
+		}
+		for _, metric := range sortedKeys(base.Metrics) {
+			baseVal := base.Metrics[metric]
+			curVal, ok := cur.Metrics[metric]
+			row := compareRow{
+				bench: base.Name, metric: metric,
+				base: baseVal, cur: curVal,
+				tracked: trackedMetric(metric),
+			}
+			switch {
+			case !ok:
+				row.missing = true
+				if row.tracked {
+					row.regressed = true
+				}
+			case baseVal != 0:
+				row.delta = (curVal - baseVal) / baseVal
+				if row.tracked && row.delta < -threshold {
+					row.regressed = true
+				}
+			default:
+				// A zero tracked baseline is a corrupt or degenerate
+				// baseline run; failing loudly beats a gate that can
+				// never fire on this metric again.
+				if row.tracked {
+					row.regressed = true
+				}
+			}
+			if row.regressed {
+				regressed = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, missing, regressed
+}
+
+// sortedKeys returns m's keys in lexical order so output is stable.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// readReport loads one JSON report.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare is the `benchreport compare` entry point. Exit codes are
+// part of the CI contract, pinned by tests: 0 when every tracked
+// throughput metric is within the threshold of the baseline, 1 when
+// any regresses (or its measurement disappeared), 2 on usage or I/O
+// errors.
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath  = fs.String("baseline", "", "baseline JSON report (required)")
+		curPath   = fs.String("current", "", "current JSON report (required)")
+		threshold = fs.Float64("threshold", 0.20, "allowed relative drop in tracked throughput metrics before failing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *basePath == "" || *curPath == "" || *threshold < 0 {
+		fmt.Fprintln(stderr, "benchreport compare: -baseline and -current are required, -threshold must be >= 0")
+		fs.Usage()
+		return 2
+	}
+	baseline, err := readReport(*basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport compare: %v\n", err)
+		return 2
+	}
+	current, err := readReport(*curPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport compare: %v\n", err)
+		return 2
+	}
+
+	rows, missing, regressed := compareReports(baseline, current, *threshold)
+	w := tabwriter.NewWriter(stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tmetric\tbaseline\tcurrent\tdelta\tstatus\n")
+	for _, r := range rows {
+		status := ""
+		switch {
+		case r.regressed && r.base == 0:
+			status = "BAD BASELINE (zero; gated)"
+		case r.regressed && r.missing:
+			status = "MISSING (gated)"
+		case r.regressed:
+			status = fmt.Sprintf("REGRESSED (>%.0f%%)", *threshold*100)
+		case r.tracked:
+			status = "ok (gated)"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.4g\t%.4g\t%+.1f%%\t%s\n",
+			r.bench, r.metric, r.base, r.cur, r.delta*100, status)
+	}
+	w.Flush()
+	for _, name := range missing {
+		fmt.Fprintf(stdout, "MISSING benchmark %q: in baseline but not in current report\n", name)
+	}
+	if regressed {
+		fmt.Fprintf(stdout, "FAIL: tracked throughput regressed more than %.0f%% vs baseline\n", *threshold*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "PASS: all tracked throughput metrics within %.0f%% of baseline\n", *threshold*100)
+	return 0
+}

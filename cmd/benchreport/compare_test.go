@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// report builds a one-benchmark Report with the given metrics.
+func report(t *testing.T, name string, metrics map[string]float64) *Report {
+	t.Helper()
+	return &Report{
+		Env:        map[string]string{"goos": "linux"},
+		Benchmarks: []Benchmark{{Name: name, Iterations: 100, Metrics: metrics}},
+	}
+}
+
+// writeReport marshals rep into dir and returns its path.
+func writeReport(t *testing.T, dir, file string, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, file)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// compare runs runCompare against two reports with the given threshold
+// flag and returns (exit code, stdout).
+func compare(t *testing.T, baseline, current *Report, extra ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	args := []string{
+		"-baseline", writeReport(t, dir, "base.json", baseline),
+		"-current", writeReport(t, dir, "cur.json", current),
+	}
+	args = append(args, extra...)
+	var stdout, stderr bytes.Buffer
+	code := runCompare(args, &stdout, &stderr)
+	return code, stdout.String() + stderr.String()
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	rep := report(t, "prload/all", map[string]float64{"queries/s": 50000, "p99/ms": 1.5})
+	code, out := compare(t, rep, rep)
+	if code != 0 {
+		t.Fatalf("identical reports exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("no PASS line:\n%s", out)
+	}
+}
+
+func TestCompareSmallDropWithinThresholdPasses(t *testing.T) {
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000})
+	cur := report(t, "prload/all", map[string]float64{"queries/s": 45000}) // -10%
+	if code, out := compare(t, base, cur); code != 0 {
+		t.Fatalf("10%% drop under default 20%% threshold exit %d:\n%s", code, out)
+	}
+}
+
+func TestCompareBigDropFails(t *testing.T) {
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000})
+	cur := report(t, "prload/all", map[string]float64{"queries/s": 35000}) // -30%
+	code, out := compare(t, base, cur)
+	if code != 1 {
+		t.Fatalf("30%% drop exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "FAIL") {
+		t.Errorf("regression not reported:\n%s", out)
+	}
+}
+
+func TestCompareThresholdFlag(t *testing.T) {
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000})
+	cur := report(t, "prload/all", map[string]float64{"queries/s": 45000}) // -10%
+	if code, out := compare(t, base, cur, "-threshold", "0.05"); code != 1 {
+		t.Fatalf("10%% drop over 5%% threshold exit %d, want 1:\n%s", code, out)
+	}
+	cur = report(t, "prload/all", map[string]float64{"queries/s": 30000}) // -40%
+	if code, out := compare(t, base, cur, "-threshold", "0.5"); code != 0 {
+		t.Fatalf("40%% drop under 50%% threshold exit %d, want 0:\n%s", code, out)
+	}
+}
+
+func TestCompareLatencyDoesNotGate(t *testing.T) {
+	// p99 quadrupled but throughput held: latency is context, not gate.
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000, "p99/ms": 1.0})
+	cur := report(t, "prload/all", map[string]float64{"queries/s": 50000, "p99/ms": 4.0})
+	if code, out := compare(t, base, cur); code != 0 {
+		t.Fatalf("latency-only change exit %d, want 0:\n%s", code, out)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000})
+	cur := report(t, "prload/all", map[string]float64{"queries/s": 90000})
+	if code, out := compare(t, base, cur); code != 0 {
+		t.Fatalf("improvement exit %d:\n%s", code, out)
+	}
+}
+
+func TestCompareSpeedupMetricGates(t *testing.T) {
+	base := report(t, "BenchmarkX-8", map[string]float64{"speedup/serial-vs-parallel": 3.0})
+	cur := report(t, "BenchmarkX-8", map[string]float64{"speedup/serial-vs-parallel": 1.5})
+	if code, _ := compare(t, base, cur); code != 1 {
+		t.Fatal("halved speedup did not gate")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000})
+	cur := report(t, "prload/other", map[string]float64{"queries/s": 50000})
+	code, out := compare(t, base, cur)
+	if code != 1 {
+		t.Fatalf("missing tracked benchmark exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("missing benchmark not reported:\n%s", out)
+	}
+}
+
+func TestCompareZeroBaselineFails(t *testing.T) {
+	// A zero tracked baseline (degenerate baseline run) must fail
+	// loudly rather than disable the gate for that metric forever.
+	base := report(t, "prload/all", map[string]float64{"queries/s": 0})
+	cur := report(t, "prload/all", map[string]float64{"queries/s": 50000})
+	code, out := compare(t, base, cur)
+	if code != 1 {
+		t.Fatalf("zero baseline exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "BAD BASELINE") {
+		t.Errorf("zero baseline not called out:\n%s", out)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000, "errors": 0})
+	cur := report(t, "prload/all", map[string]float64{"errors": 0})
+	code, out := compare(t, base, cur)
+	if code != 1 {
+		t.Fatal("dropped tracked metric did not gate")
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("absent metric not labeled MISSING:\n%s", out)
+	}
+}
+
+func TestCompareMeasuredZeroIsRegressionNotMissing(t *testing.T) {
+	// A present-but-zero measurement is a (catastrophic) regression;
+	// it must not masquerade as a vanished metric.
+	base := report(t, "prload/all", map[string]float64{"queries/s": 50000})
+	cur := report(t, "prload/all", map[string]float64{"queries/s": 0})
+	code, out := compare(t, base, cur)
+	if code != 1 {
+		t.Fatalf("zero throughput exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || strings.Contains(out, "MISSING") {
+		t.Errorf("measured zero mislabeled:\n%s", out)
+	}
+}
+
+func TestCompareUntrackedOnlyBaselineIgnoresMissing(t *testing.T) {
+	// A baseline benchmark with no tracked metrics may vanish freely.
+	base := report(t, "BenchmarkY-8", map[string]float64{"ns/op": 100})
+	cur := report(t, "BenchmarkZ-8", map[string]float64{"ns/op": 100})
+	if code, out := compare(t, base, cur); code != 0 {
+		t.Fatalf("untracked-only benchmark gated: exit %d\n%s", code, out)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runCompare([]string{}, &stdout, &stderr); code != 2 {
+		t.Errorf("no args exit %d, want 2", code)
+	}
+	if code := runCompare([]string{"-baseline", "/no/such.json", "-current", "/no/such.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing files exit %d, want 2", code)
+	}
+	if code := runCompare([]string{"-bogus-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare([]string{"-baseline", bad, "-current", bad}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed JSON exit %d, want 2", code)
+	}
+}
+
+func TestTrackedMetric(t *testing.T) {
+	for name, want := range map[string]bool{
+		"queries/s": true, "vertex/s": true, "speedup/serial-vs-parallel": true,
+		"ns/op": false, "p99/ms": false, "errors": false, "simvswall": false,
+	} {
+		if trackedMetric(name) != want {
+			t.Errorf("trackedMetric(%q) = %v, want %v", name, !want, want)
+		}
+	}
+}

@@ -1,16 +1,26 @@
 // Command benchreport converts `go test -bench` text output into a
 // machine-readable JSON report, so CI can archive benchmark
 // trajectories (vertex/s, simulated-vs-wall ratios, speedups) as build
-// artifacts.
+// artifacts — and compares two such reports to gate perf regressions.
 //
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -run='^$' . | benchreport -out BENCH.json
 //	benchreport -in bench.txt -out BENCH.json
+//	benchreport compare -baseline BENCH_baseline.json -current LOAD.json -threshold 0.20
 //
 // The report carries the run's environment header (goos, goarch, pkg,
 // cpu) and, per benchmark, the iteration count and every reported
 // metric including the custom ones attached via b.ReportMetric.
+// cmd/prload emits reports in the same schema, so load-test results
+// and benchmark results live in one artifact trajectory.
+//
+// The compare mode prints per-metric relative deltas and exits 0 when
+// every tracked throughput metric (units ending in "/s", speedup
+// ratios) is within the threshold of the baseline, 1 when any
+// regresses beyond it or its measurement disappeared, and 2 on usage
+// errors. Latency and other lower-is-better metrics are printed for
+// context but do not gate.
 package main
 
 import (
@@ -22,29 +32,16 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Benchmark is one benchmark line's parsed result.
-type Benchmark struct {
-	// Name is the benchmark name including the -cpu suffix, e.g.
-	// "BenchmarkFrogWildRun-8".
-	Name string `json:"name"`
-	// Iterations is the measured b.N.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit → value for every "value unit" pair on the
-	// line ("ns/op", "B/op", "vertex/s", "simvswall", ...).
-	Metrics map[string]float64 `json:"metrics"`
-}
+// Benchmark is one benchmark line's parsed result; the schema lives in
+// internal/benchfmt, shared with the load generator's reports.
+type Benchmark = benchfmt.Benchmark
 
-// Report is the full JSON document.
-type Report struct {
-	// Env holds the run header lines (goos, goarch, pkg, cpu).
-	Env map[string]string `json:"env"`
-	// Benchmarks lists the parsed benchmark results in input order.
-	Benchmarks []Benchmark `json:"benchmarks"`
-	// Failed reports whether the bench run printed FAIL.
-	Failed bool `json:"failed"`
-}
+// Report is the full JSON document (see internal/benchfmt).
+type Report = benchfmt.Report
 
 // parseBench reads `go test -bench` text output into a Report. Lines
 // that are neither header, benchmark nor PASS/FAIL markers are ignored,
@@ -100,6 +97,9 @@ func parseBenchLine(line string) (Benchmark, bool) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		in  = flag.String("in", "-", "bench output file ('-' = stdin)")
 		out = flag.String("out", "", "JSON report path (required)")

@@ -1,0 +1,239 @@
+// Command prload drives the top-k PageRank query service with a
+// deterministic, Zipf-skewed workload and emits a JSON latency report
+// in the benchreport schema, so load-test results slot into the same
+// BENCH_* artifact trajectory the benchmarks feed and `benchreport
+// compare` can gate regressions against a committed baseline.
+//
+// Two targets:
+//
+//   - In-process (default): builds a graph and a snapshot-serving
+//     handler in this process and drives it directly — no sockets, so
+//     the measurement isolates the serving path. This is what the CI
+//     perf gate runs.
+//   - Live (-url): drives a running prserve over real HTTP, measuring
+//     full round-trip latency.
+//
+// Usage:
+//
+//	prload -gen twitterlike -n 50000 -queries 4000 -warmup 500 -out LOAD.json
+//	prload -url http://localhost:8080 -queries 10000 -concurrency 16
+//	prload -gen twitterlike -n 50000 -open -rate 2000 -queries 8000
+//	prload -gen twitterlike -n 20000 -mix topk=1 -ramp 4
+//
+// The report lists, per endpoint and in aggregate: queries/s, latency
+// percentiles (p50/p90/p95/p99/max, milliseconds) and error counts.
+// Same -seed and flags reproduce the exact same query schedule. Exit
+// codes: 0 on a clean run, 1 when the run fails or any query errored,
+// 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body; see the package comment for the exit
+// code contract.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url      = fs.String("url", "", "drive a live server at this base URL instead of in-process")
+		path     = fs.String("graph", "", "in-process: graph file (edge list or binary, auto-detected)")
+		genType  = fs.String("gen", "twitterlike", "in-process: generator, twitterlike|livejournallike")
+		n        = fs.Int("n", 50000, "in-process: vertex count when generating")
+		engine   = fs.String("engine", "frogwild", "in-process: snapshot engine, frogwild|glpr|exact")
+		machines = fs.Int("machines", 16, "in-process: simulated cluster size")
+		seed     = fs.Uint64("seed", 1, "workload (and in-process graph/snapshot) seed")
+		queries  = fs.Int("queries", 4000, "measured query count")
+		warmup   = fs.Int("warmup", 500, "warmup queries excluded from stats")
+		conc     = fs.Int("concurrency", 8, "closed-loop workers / open-loop stat shards")
+		ramp     = fs.Int("ramp", 1, "closed-loop ramp stages (concurrency rises linearly across them)")
+		open     = fs.Bool("open", false, "open loop: fixed arrival schedule instead of back-to-back workers")
+		rate     = fs.Float64("rate", 0, "open-loop arrival rate, queries/s (required with -open)")
+		mix      = fs.String("mix", "", "query mix weights, e.g. topk=0.6,rank=0.3,stats=0.1 (default that)")
+		zipfS    = fs.Float64("zipf-s", 1.1, "key-popularity Zipf exponent for k and vertex draws")
+		maxK     = fs.Int("maxk", 100, "topk k parameter upper bound")
+		vertices = fs.Int("vertices", 0, "rank-query vertex id space (default: the graph's size; required with -url when rank traffic is in the mix)")
+		out      = fs.String("out", "-", "report path ('-' = stdout)")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := loadgen.Config{
+		Seed:        *seed,
+		Queries:     *queries,
+		Warmup:      *warmup,
+		Concurrency: *conc,
+		RampStages:  *ramp,
+		OpenLoop:    *open,
+		Rate:        *rate,
+		ZipfS:       *zipfS,
+		MaxK:        *maxK,
+		Vertices:    *vertices,
+	}
+	if *mix != "" {
+		m, err := parseMix(*mix)
+		if err != nil {
+			fmt.Fprintf(stderr, "prload: %v\n", err)
+			fs.Usage()
+			return 2
+		}
+		cfg.Mix = m
+	}
+
+	// Workload-config mistakes (open loop without -rate, rank traffic
+	// against -url without -vertices, bad mix weights) are usage
+	// errors, caught before the potentially expensive graph and
+	// snapshot build. In-process runs fill Vertices from the graph, so
+	// a placeholder stands in for that one field here.
+	pre := cfg
+	if *url == "" && pre.Vertices == 0 {
+		pre.Vertices = 1
+	}
+	if err := pre.Validate(); err != nil {
+		fmt.Fprintf(stderr, "prload: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+
+	var target loadgen.Target
+	env := map[string]string{"seed": strconv.FormatUint(*seed, 10)}
+	if *url != "" {
+		target = loadgen.HTTPTarget{BaseURL: *url, Client: &http.Client{}}
+		env["target"] = *url
+	} else {
+		handler, vcount, err := buildInProcess(*path, *genType, *n, *engine, *machines, *maxK, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "prload: %v\n", err)
+			return 1
+		}
+		if cfg.Vertices == 0 {
+			cfg.Vertices = vcount
+		}
+		target = loadgen.HandlerTarget{Handler: handler}
+		env["target"] = "in-process"
+		env["engine"] = *engine
+		env["graph"] = fmt.Sprintf("%s n=%d", *genType, vcount)
+	}
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Fprintf(stderr, "prload: %d warmup + %d measured queries against %s\n",
+		cfg.Warmup, cfg.Queries, env["target"])
+	start := time.Now()
+	rep, err := loadgen.Run(ctx, cfg, target)
+	if err != nil {
+		fmt.Fprintf(stderr, "prload: %v\n", err)
+		return 1
+	}
+	total := rep.Total()
+	fmt.Fprintf(stderr, "prload: %d queries in %.2fs (%.0f queries/s, %d errors, p99 %v)\n",
+		total.Count, time.Since(start).Seconds(), rep.QueriesPerSecond(),
+		total.Errors, total.Hist.QuantileDuration(0.99))
+
+	doc := rep.BenchDoc("prload", env)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "prload: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "prload: %v\n", err)
+		return 1
+	}
+	if total.Errors > 0 {
+		fmt.Fprintf(stderr, "prload: %d queries failed\n", total.Errors)
+		return 1
+	}
+	return 0
+}
+
+// buildInProcess assembles the in-process serving handler: load or
+// generate the graph, compute the snapshot, wrap it in the query API.
+func buildInProcess(path, genType string, n int, engine string, machines, maxK int, seed uint64) (http.Handler, int, error) {
+	eng, err := serve.ParseEngine(engine)
+	if err != nil {
+		return nil, 0, err
+	}
+	var g *repro.Graph
+	switch {
+	case path != "":
+		g, err = repro.LoadGraph(path)
+	case genType == "twitterlike":
+		g, err = repro.TwitterLikeGraph(n, seed)
+	case genType == "livejournallike":
+		g, err = repro.LiveJournalLikeGraph(n, seed)
+	default:
+		err = fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	handler, err := repro.NewServerHandler(g, repro.SnapshotConfig{
+		Engine:   eng,
+		Machines: machines,
+		Seed:     seed,
+		MaxK:     maxK,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return handler, g.NumVertices(), nil
+}
+
+// parseMix parses "topk=0.6,rank=0.3,stats=0.1" (weights are relative;
+// omitted endpoints get weight 0).
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix component %q (want name=weight)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return m, fmt.Errorf("bad mix weight in %q: %v", part, err)
+		}
+		switch key {
+		case "topk":
+			m.TopK = w
+		case "rank":
+			m.Rank = w
+		case "stats":
+			m.Stats = w
+		default:
+			return m, fmt.Errorf("unknown mix endpoint %q (want topk|rank|stats)", key)
+		}
+	}
+	return m, nil
+}

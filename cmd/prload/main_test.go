@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// runCLI invokes the CLI body and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// tinyRun are CLI args for a fast in-process run on a small graph.
+func tinyRun(extra ...string) []string {
+	return append([]string{
+		"-gen", "twitterlike", "-n", "1000", "-machines", "2",
+		"-queries", "300", "-warmup", "50", "-concurrency", "4", "-seed", "7",
+	}, extra...)
+}
+
+// TestRunEndToEnd pins the acceptance criterion: a fixed-seed run
+// against an in-process server completes and prints a JSON report with
+// queries/s and p50/p95/p99 per endpoint, exit code 0.
+func TestRunEndToEnd(t *testing.T) {
+	code, stdout, stderr := runCLI(t, tinyRun()...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var doc loadgen.BenchDoc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout)
+	}
+	if doc.Env["target"] != "in-process" || doc.Env["seed"] != "7" {
+		t.Errorf("env = %v", doc.Env)
+	}
+	names := map[string]bool{}
+	for _, b := range doc.Benchmarks {
+		names[b.Name] = true
+		for _, metric := range []string{"queries/s", "p50/ms", "p95/ms", "p99/ms"} {
+			if _, ok := b.Metrics[metric]; !ok {
+				t.Errorf("%s missing metric %s", b.Name, metric)
+			}
+		}
+		if b.Metrics["errors"] != 0 {
+			t.Errorf("%s had %v errors", b.Name, b.Metrics["errors"])
+		}
+	}
+	for _, want := range []string{"prload/all", "prload/topk", "prload/rank"} {
+		if !names[want] {
+			t.Errorf("report missing %s entry (have %v)", want, names)
+		}
+	}
+	if !strings.Contains(stderr, "queries/s") {
+		t.Errorf("no throughput summary on stderr:\n%s", stderr)
+	}
+}
+
+// TestRunWritesOutFile checks -out writes the same report to disk.
+func TestRunWritesOutFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	code, stdout, stderr := runCLI(t, tinyRun("-out", out)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("-out still wrote to stdout:\n%s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc loadgen.BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("out file not JSON: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		t.Error("out file has no benchmarks")
+	}
+}
+
+// TestRunDeterministicSchedule runs the CLI twice with the same seed:
+// the per-endpoint iteration counts must match exactly (latencies are
+// wall-clock and may differ; the schedule must not).
+func TestRunDeterministicSchedule(t *testing.T) {
+	counts := func() map[string]int64 {
+		code, stdout, stderr := runCLI(t, tinyRun()...)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+		}
+		var doc loadgen.BenchDoc
+		if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int64{}
+		for _, b := range doc.Benchmarks {
+			got[b.Name] = b.Iterations
+		}
+		return got
+	}
+	a, b := counts(), counts()
+	for name, n := range a {
+		if b[name] != n {
+			t.Errorf("%s: %d vs %d queries across identical runs", name, n, b[name])
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, tinyRun("-mix", "frobnicate=1")...); code != 2 {
+		t.Errorf("bad mix exit %d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, tinyRun("-gen", "nosuch")...); code != 1 {
+		t.Errorf("bad generator exit %d, want 1 (%s)", code, stderr)
+	}
+	if code, _, _ := runCLI(t, tinyRun("-open")...); code != 2 {
+		t.Errorf("open loop without rate exit %d, want 2 (usage error)", code)
+	}
+	// -url can't infer the graph size; rank traffic without -vertices
+	// is a usage error caught before any request is issued.
+	if code, _, _ := runCLI(t, "-url", "http://127.0.0.1:1", "-queries", "10"); code != 2 {
+		t.Errorf("-url rank traffic without -vertices exit %d, want 2", code)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("topk=0.6, rank=0.3,stats=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TopK != 0.6 || m.Rank != 0.3 || m.Stats != 0.1 {
+		t.Errorf("parsed %+v", m)
+	}
+	if m, err = parseMix("topk=1"); err != nil || m.TopK != 1 || m.Rank != 0 {
+		t.Errorf("single-component mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"topk", "topk=x", "frobnicate=1", ""} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildInProcessErrors(t *testing.T) {
+	if _, _, err := buildInProcess("", "nosuchgen", 100, "frogwild", 2, 20, 1); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if _, _, err := buildInProcess("", "twitterlike", 100, "nosuchengine", 2, 20, 1); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, _, err := buildInProcess("/no/such/file", "", 100, "frogwild", 2, 20, 1); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}
+
+func TestBuildInProcessTiny(t *testing.T) {
+	h, n, err := buildInProcess("", "twitterlike", 300, "glpr", 2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil || n != 300 {
+		t.Fatalf("handler %v, n = %d", h, n)
+	}
+}

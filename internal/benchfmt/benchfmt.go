@@ -1,0 +1,31 @@
+// Package benchfmt defines the JSON report schema shared by
+// cmd/benchreport (which parses `go test -bench` output into it and
+// compares two reports) and internal/loadgen (whose prload reports use
+// the same shape so load-test results and benchmark results live in
+// one BENCH_* artifact trajectory). One definition, so the CI perf
+// gate's producer and consumer cannot drift apart silently.
+package benchfmt
+
+// Benchmark is one benchmark's (or one load-test entry's) result.
+type Benchmark struct {
+	// Name is the benchmark name including the -cpu suffix (e.g.
+	// "BenchmarkFrogWildRun-8") or a load-test entry name (e.g.
+	// "prload/topk").
+	Name string `json:"name"`
+	// Iterations is the measured b.N, or a load test's query count.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every measurement ("ns/op",
+	// "vertex/s", "queries/s", "p99/ms", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	// Env holds run-environment entries (goos, goarch, pkg, cpu for
+	// bench runs; target/engine/graph/seed for load runs).
+	Env map[string]string `json:"env"`
+	// Benchmarks lists the results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Failed reports whether the bench run printed FAIL.
+	Failed bool `json:"failed"`
+}

@@ -1,0 +1,218 @@
+package hist
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// refQuantile computes the bucket-quantized quantile directly from a
+// sorted sample slice, mirroring Quantile's contract (upper bound of
+// the selected sample's bucket, clamped to [min, max]).
+func refQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	v := bucketUpper(bucketIndex(sorted[rank-1]))
+	if v < sorted[0] {
+		v = sorted[0]
+	}
+	if v > sorted[n-1] {
+		v = sorted[n-1]
+	}
+	return v
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose [lower, upper] range
+	// contains it, and bucket boundaries must be contiguous.
+	vals := []int64{0, 1, 2, 63, 64, 65, 127, 128, 129, 1000, 4095, 4096,
+		1 << 20, 1<<20 + 17, 1 << 40, math.MaxInt64}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if up := bucketUpper(i); v > up {
+			t.Errorf("value %d above its bucket %d upper bound %d", v, i, up)
+		}
+		if i > 0 {
+			if prev := bucketUpper(i - 1); v <= prev {
+				t.Errorf("value %d should be in bucket %d (upper %d), got %d", v, i-1, prev, i)
+			}
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if got := bucketIndex(bucketUpper(i)); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)) = %d", i, got)
+		}
+	}
+	// The largest representable value lands in the last index of the
+	// documented bucket space.
+	if got := bucketIndex(math.MaxInt64); got != maxBuckets-1 {
+		t.Errorf("bucketIndex(MaxInt64) = %d, want %d", got, maxBuckets-1)
+	}
+	// Values below subBucketCount are exact.
+	for v := int64(0); v < subBucketCount; v++ {
+		if bucketUpper(bucketIndex(v)) != v {
+			t.Fatalf("small value %d not exact", v)
+		}
+	}
+	// Relative error bound: upper/lower within a bucket differ by at
+	// most a factor of 1 + 1/subBucketCount.
+	for _, v := range vals[1:] {
+		i := bucketIndex(v)
+		up := bucketUpper(i)
+		lo := int64(0)
+		if i > 0 {
+			lo = bucketUpper(i-1) + 1
+		}
+		if float64(up-lo) > float64(lo)/subBucketCount+1 {
+			t.Errorf("bucket %d [%d,%d] too wide for value %d", i, lo, up, v)
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not all-zero: %s", h.String())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if h.Quantile(q) != 0 {
+			t.Errorf("empty Quantile(%v) = %d", q, h.Quantile(q))
+		}
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(1500 * time.Microsecond)
+	want := int64(1500 * 1000)
+	if h.Count() != 1 || h.Sum() != want || h.Min() != want || h.Max() != want {
+		t.Fatalf("single sample stats wrong: %s", h.String())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %d, want %d (min==max must pin every quantile)", q, got, want)
+		}
+	}
+}
+
+func TestAllEqualSamples(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.RecordValue(777777)
+	}
+	for _, q := range []float64{0, 0.5, 0.9999, 1} {
+		if got := h.Quantile(q); got != 777777 {
+			t.Errorf("Quantile(%v) = %d, want 777777", q, got)
+		}
+	}
+	if h.Mean() != 777777 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.RecordValue(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("negative sample not clamped: %s", h.String())
+	}
+}
+
+func TestQuantilesAgainstSortedReference(t *testing.T) {
+	r := rng.New(42)
+	var h Histogram
+	var samples []int64
+	for i := 0; i < 5000; i++ {
+		// Mix magnitudes: microseconds to seconds.
+		v := int64(r.Uint64n(1_000_000_000))
+		if r.Bernoulli(0.3) {
+			v = int64(r.Uint64n(50_000))
+		}
+		samples = append(samples, v)
+		h.RecordValue(v)
+	}
+	sorted := append([]int64(nil), samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		got, want := h.Quantile(q), refQuantile(sorted, q)
+		if got != want {
+			t.Errorf("Quantile(%v) = %d, reference %d", q, got, want)
+		}
+	}
+}
+
+// TestMergeEqualsConcat is the satellite contract: for any shard split
+// of a sample stream, merging the shard histograms equals the histogram
+// of the concatenated samples — exactly, bucket by bucket.
+func TestMergeEqualsConcat(t *testing.T) {
+	r := rng.New(7)
+	samples := make([]int64, 4096)
+	for i := range samples {
+		samples[i] = int64(r.Uint64n(10_000_000_000))
+	}
+	var whole Histogram
+	for _, v := range samples {
+		whole.RecordValue(v)
+	}
+	// Shard splits: contiguous chunks of several widths, including
+	// degenerate ones (single shard, one-element shards via width 1).
+	for _, shards := range []int{1, 2, 3, 7, 64, len(samples)} {
+		var merged Histogram
+		per := (len(samples) + shards - 1) / shards
+		for s := 0; s < shards; s++ {
+			lo := s * per
+			hi := min(lo+per, len(samples))
+			var part Histogram
+			for _, v := range samples[lo:hi] {
+				part.RecordValue(v)
+			}
+			merged.Merge(&part)
+		}
+		if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+			merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("shards=%d: scalar stats diverge", shards)
+		}
+		if !reflect.DeepEqual(merged.Counts(), whole.Counts()) {
+			t.Fatalf("shards=%d: bucket counts diverge", shards)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if merged.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("shards=%d: Quantile(%v) diverges", shards, q)
+			}
+		}
+	}
+}
+
+func TestMergeEmptyAndIntoEmpty(t *testing.T) {
+	var a, b, empty Histogram
+	a.RecordValue(10)
+	a.RecordValue(30)
+	a.Merge(&empty) // no-op
+	a.Merge(nil)    // no-op
+	if a.Count() != 2 {
+		t.Fatalf("merge of empty changed count: %d", a.Count())
+	}
+	b.Merge(&a) // into empty: adopts min/max
+	if b.Count() != 2 || b.Min() != 10 || b.Max() != 30 {
+		t.Errorf("merge into empty: %s", b.String())
+	}
+}

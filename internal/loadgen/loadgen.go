@@ -1,0 +1,487 @@
+// Package loadgen is a deterministic load generator for the top-k
+// PageRank query service: it drives the /v1/topk, /v1/rank and
+// /v1/stats endpoints with Zipf-skewed key popularity and measures
+// per-endpoint latency distributions with internal/hist.
+//
+// Determinism is the design center, matching the rest of the repo: the
+// entire workload — which endpoint each query hits, which k or vertex
+// it asks for, and (open loop) when it arrives — is a pure function of
+// (seed, config), precomputed by Schedule before a single request is
+// issued. Workers consume schedule entries from a shared cursor and
+// record into worker-local histograms that merge exactly (bucket
+// addition is commutative), so the schedule, the per-endpoint counts
+// and — given a deterministic target — the histogram buckets are
+// bit-identical for any worker count. Wall-clock throughput against a
+// real server is, of course, still a measurement.
+//
+// Two loop disciplines are supported:
+//
+//   - Closed loop (default): Concurrency workers issue queries
+//     back-to-back; offered load adapts to service rate. An optional
+//     ramp splits the measured phase into stages of rising concurrency.
+//   - Open loop: queries arrive on a fixed schedule with exponential
+//     inter-arrival gaps at Rate queries/s, independent of completions
+//     up to Concurrency requests in flight; recorded latency includes
+//     any dispatch lag past the scheduled arrival — sleep overshoot or
+//     a saturated in-flight bound — so queueing delay is not hidden
+//     (no coordinated omission).
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+	"repro/internal/rng"
+)
+
+// Endpoint names one query kind in the mix.
+type Endpoint string
+
+const (
+	// EndpointTopK is GET /v1/topk?k=K.
+	EndpointTopK Endpoint = "topk"
+	// EndpointRank is GET /v1/rank?vertex=V.
+	EndpointRank Endpoint = "rank"
+	// EndpointStats is GET /v1/stats.
+	EndpointStats Endpoint = "stats"
+)
+
+// Endpoints lists the endpoints in their fixed report order.
+var Endpoints = []Endpoint{EndpointTopK, EndpointRank, EndpointStats}
+
+// Mix weights the query kinds. Weights are relative (they need not sum
+// to 1); the zero value selects the default serving mix of 60% topk,
+// 30% rank, 10% stats.
+type Mix struct {
+	TopK  float64
+	Rank  float64
+	Stats float64
+}
+
+// withDefaults normalizes the mix, substituting the default when all
+// weights are zero.
+func (m Mix) withDefaults() (Mix, error) {
+	if m.TopK == 0 && m.Rank == 0 && m.Stats == 0 {
+		return Mix{TopK: 0.6, Rank: 0.3, Stats: 0.1}, nil
+	}
+	if m.TopK < 0 || m.Rank < 0 || m.Stats < 0 {
+		return Mix{}, fmt.Errorf("loadgen: negative mix weight %+v", m)
+	}
+	total := m.TopK + m.Rank + m.Stats
+	return Mix{TopK: m.TopK / total, Rank: m.Rank / total, Stats: m.Stats / total}, nil
+}
+
+// Config fixes a workload. Together with the seed it determines the
+// schedule bit-for-bit.
+type Config struct {
+	// Seed keys every random choice in the schedule.
+	Seed uint64
+	// Queries is the number of measured queries (after warmup).
+	Queries int
+	// Warmup queries are issued first (same distribution) and excluded
+	// from every reported statistic.
+	Warmup int
+	// Concurrency is the worker count (closed loop) or the maximum
+	// in-flight requests (open loop). Open-loop dispatch blocked on
+	// the bound charges the wait to the op's recorded latency, so a
+	// saturated target shows up in the tail percentiles rather than
+	// exhausting sockets. 0 means 1.
+	Concurrency int
+	// RampStages > 1 splits the measured closed-loop phase into that
+	// many equal segments, with concurrency rising linearly from
+	// Concurrency/RampStages to Concurrency. Ignored in open loop.
+	RampStages int
+	// OpenLoop selects arrival-schedule driving at Rate queries/s.
+	OpenLoop bool
+	// Rate is the open-loop offered load in queries/s (required when
+	// OpenLoop is set).
+	Rate float64
+	// Mix weights the endpoints.
+	Mix Mix
+	// ZipfS is the key-popularity skew exponent for topk's k and
+	// rank's vertex (s > 0; default 1.1, a realistic serving skew).
+	ZipfS float64
+	// MaxK bounds topk's k parameter (k is Zipf-distributed on
+	// [1, MaxK], small k most popular). Default 100.
+	MaxK int
+	// Vertices is the id space for rank queries (vertex ids are drawn
+	// Zipf-skewed from [0, Vertices)). Required when the mix includes
+	// rank traffic.
+	Vertices int
+}
+
+// withDefaults validates and fills defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.Queries <= 0 {
+		return c, errors.New("loadgen: Queries must be positive")
+	}
+	if c.Warmup < 0 {
+		return c, errors.New("loadgen: Warmup must be non-negative")
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.RampStages <= 0 {
+		c.RampStages = 1
+	}
+	if c.RampStages > c.Queries {
+		c.RampStages = c.Queries
+	}
+	if c.OpenLoop && c.Rate <= 0 {
+		return c, errors.New("loadgen: open loop requires Rate > 0")
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.ZipfS <= 0 {
+		return c, errors.New("loadgen: ZipfS must be positive")
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 100
+	}
+	var err error
+	if c.Mix, err = c.Mix.withDefaults(); err != nil {
+		return c, err
+	}
+	if c.Mix.Rank > 0 && c.Vertices <= 0 {
+		return c, errors.New("loadgen: Vertices required for rank traffic")
+	}
+	return c, nil
+}
+
+// Validate reports whether the configuration is runnable (the same
+// check Schedule and Run apply), so CLIs can separate usage errors
+// from run failures.
+func (c Config) Validate() error {
+	_, err := c.withDefaults()
+	return err
+}
+
+// Op is one scheduled query.
+type Op struct {
+	// Index is the op's position in the schedule (warmup included).
+	Index int
+	// Endpoint says which query kind this is.
+	Endpoint Endpoint
+	// K is the topk parameter (EndpointTopK only).
+	K int
+	// Vertex is the rank parameter (EndpointRank only).
+	Vertex uint32
+	// Arrival is the open-loop offset from the phase start (zero in
+	// closed loop, and for warmup ops).
+	Arrival time.Duration
+	// Warmup marks ops excluded from measurement.
+	Warmup bool
+}
+
+// URL renders the op's request path and query string.
+func (op Op) URL() string {
+	switch op.Endpoint {
+	case EndpointTopK:
+		return fmt.Sprintf("/v1/topk?k=%d", op.K)
+	case EndpointRank:
+		return fmt.Sprintf("/v1/rank?vertex=%d", op.Vertex)
+	default:
+		return "/v1/stats"
+	}
+}
+
+// Schedule produces the full deterministic op sequence for cfg: Warmup
+// warmup ops followed by Queries measured ops. Same seed and config ⇒
+// bit-identical schedule, always.
+func Schedule(cfg Config) ([]Op, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Independent streams per concern, so e.g. changing MaxK cannot
+	// perturb which endpoints are drawn.
+	endpointRng := rng.Derive(cfg.Seed, 'e')
+	keyRng := rng.Derive(cfg.Seed, 'k')
+	arrivalRng := rng.Derive(cfg.Seed, 'a')
+	kZipf := rng.NewZipf(cfg.ZipfS, 1, cfg.MaxK)
+	var vZipf *rng.Zipf
+	if cfg.Mix.Rank > 0 {
+		vZipf = rng.NewZipf(cfg.ZipfS, 1, cfg.Vertices)
+	}
+
+	ops := make([]Op, cfg.Warmup+cfg.Queries)
+	var arrival time.Duration
+	for i := range ops {
+		op := Op{Index: i, Warmup: i < cfg.Warmup}
+		u := endpointRng.Float64()
+		switch {
+		case u < cfg.Mix.TopK:
+			op.Endpoint = EndpointTopK
+			op.K = kZipf.Sample(keyRng)
+		case u < cfg.Mix.TopK+cfg.Mix.Rank:
+			op.Endpoint = EndpointRank
+			op.Vertex = uint32(vZipf.Sample(keyRng) - 1)
+		default:
+			op.Endpoint = EndpointStats
+		}
+		if cfg.OpenLoop && !op.Warmup {
+			// Exponential inter-arrival gaps at the configured rate
+			// (Poisson arrivals), accumulated from the phase start.
+			gap := expGap(arrivalRng, cfg.Rate)
+			arrival += gap
+			op.Arrival = arrival
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+// expGap draws one exponential inter-arrival gap for rate arrivals/s.
+func expGap(r *rng.Stream, rate float64) time.Duration {
+	// Inversion with U in (0, 1]: -ln(U)/rate.
+	u := 1 - r.Float64()
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}
+
+// Result is a target's answer to one op.
+type Result struct {
+	// Latency is the service time the target observed (or synthesized,
+	// for deterministic test targets).
+	Latency time.Duration
+	// Status is the HTTP status code (0 when Err is set before any
+	// response).
+	Status int
+	// Err reports transport-level failure.
+	Err error
+}
+
+// Target executes ops. Implementations must be safe for concurrent
+// calls.
+type Target interface {
+	Do(ctx context.Context, op Op) Result
+}
+
+// Stats aggregates one endpoint's measured phase.
+type Stats struct {
+	// Count is the number of measured queries sent to the endpoint.
+	Count uint64 `json:"count"`
+	// Errors counts transport failures and non-2xx statuses; their
+	// latencies are excluded from the histogram.
+	Errors uint64 `json:"errors"`
+	// Hist holds the latency distribution of the successful queries.
+	Hist *hist.Histogram `json:"-"`
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	// Config echoes the (defaulted) workload configuration.
+	Config Config
+	// Wall is the measured-phase wall time.
+	Wall time.Duration
+	// PerEndpoint holds one entry per endpoint that saw traffic.
+	PerEndpoint map[Endpoint]*Stats
+}
+
+// Total returns the merged statistics across endpoints. The merged
+// histogram is exact (bucket addition), not an approximation.
+func (r *Report) Total() Stats {
+	total := Stats{Hist: &hist.Histogram{}}
+	for _, ep := range Endpoints {
+		if st, ok := r.PerEndpoint[ep]; ok {
+			total.Count += st.Count
+			total.Errors += st.Errors
+			total.Hist.Merge(st.Hist)
+		}
+	}
+	return total
+}
+
+// QueriesPerSecond returns measured throughput (0 if the phase took no
+// measurable time).
+func (r *Report) QueriesPerSecond() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Total().Count) / r.Wall.Seconds()
+}
+
+// workerStats is one worker's lock-free accumulation; merged after the
+// run in fixed endpoint order.
+type workerStats struct {
+	counts [3]uint64
+	errs   [3]uint64
+	hists  [3]hist.Histogram
+}
+
+func endpointSlot(ep Endpoint) int {
+	switch ep {
+	case EndpointTopK:
+		return 0
+	case EndpointRank:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// record notes one measured result.
+func (ws *workerStats) record(op Op, res Result, extra time.Duration) {
+	slot := endpointSlot(op.Endpoint)
+	ws.counts[slot]++
+	if res.Err != nil || res.Status < 200 || res.Status >= 300 {
+		ws.errs[slot]++
+		return
+	}
+	ws.hists[slot].Record(res.Latency + extra)
+}
+
+// Run executes cfg's schedule against target and reports the measured
+// phase. It honors ctx cancellation (returning ctx's error); otherwise
+// it always runs the schedule to completion.
+func Run(ctx context.Context, cfg Config, target Target) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ops, err := Schedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	warm, measured := ops[:cfg.Warmup], ops[cfg.Warmup:]
+
+	// Warmup: full concurrency, nothing recorded.
+	if len(warm) > 0 {
+		if err := runClosedSegment(ctx, warm, cfg.Concurrency, target, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	stats := make([]workerStats, cfg.Concurrency)
+	start := time.Now()
+	if cfg.OpenLoop {
+		err = runOpenLoop(ctx, measured, target, stats)
+	} else {
+		// Ramp: equal segments with concurrency rising to the
+		// configured maximum; a single stage is the plain closed loop.
+		stages := cfg.RampStages
+		per := (len(measured) + stages - 1) / stages
+		for s := 0; s < stages && err == nil; s++ {
+			lo := s * per
+			hi := min(lo+per, len(measured))
+			if lo >= hi {
+				break
+			}
+			workers := max(1, cfg.Concurrency*(s+1)/stages)
+			err = runClosedSegment(ctx, measured[lo:hi], workers, target, stats)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	rep := &Report{Config: cfg, Wall: wall, PerEndpoint: map[Endpoint]*Stats{}}
+	for slot, ep := range Endpoints {
+		agg := &Stats{Hist: &hist.Histogram{}}
+		for w := range stats {
+			agg.Count += stats[w].counts[slot]
+			agg.Errors += stats[w].errs[slot]
+			agg.Hist.Merge(&stats[w].hists[slot])
+		}
+		if agg.Count > 0 {
+			rep.PerEndpoint[ep] = agg
+		}
+	}
+	return rep, nil
+}
+
+// runClosedSegment drains ops with the given worker count, each worker
+// pulling the next op from a shared cursor. stats == nil means warmup
+// (execute, don't record); otherwise worker w records into stats[w].
+func runClosedSegment(ctx context.Context, ops []Op, workers int, target Target, stats []workerStats) error {
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				res := target.Do(ctx, ops[i])
+				if stats != nil {
+					stats[w].record(ops[i], res, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runOpenLoop dispatches each op at its scheduled arrival offset,
+// without waiting for earlier ops to finish, up to a cap of len(stats)
+// in flight. Each op records into the stats slot of its dispatch index
+// modulo len(stats); the recorded latency adds the dispatch lag past
+// the scheduled arrival (sleep overshoot and semaphore wait alike) so
+// queueing is visible in the tail, never hidden.
+func runOpenLoop(ctx context.Context, ops []Op, target Target, stats []workerStats) error {
+	start := time.Now()
+	var wg sync.WaitGroup
+	// In-flight bound: a stalled target must exhaust the semaphore,
+	// not file descriptors. Dispatch blocked on a full semaphore still
+	// charges the wait to the op via its lag, so saturation surfaces
+	// in the tail percentiles instead of being silently absorbed.
+	sem := make(chan struct{}, len(stats))
+	// Per-slot locks: in-flight ops outnumber slots, so slots are
+	// shared (unlike the closed loop's one-slot-per-worker).
+	locks := make([]sync.Mutex, len(stats))
+	for i := range ops {
+		if ctx.Err() != nil {
+			break
+		}
+		op := ops[i]
+		if lead := time.Until(start.Add(op.Arrival)); lead > 0 {
+			select {
+			case <-time.After(lead):
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		lag := time.Since(start.Add(op.Arrival))
+		if lag < 0 {
+			lag = 0
+		}
+		slot := i % len(stats)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := target.Do(ctx, op)
+			locks[slot].Lock()
+			stats[slot].record(op, res, lag)
+			locks[slot].Unlock()
+			<-sem
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

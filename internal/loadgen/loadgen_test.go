@@ -1,0 +1,362 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph/gen"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// fakeTarget answers every op with a latency that is a pure function
+// of the op itself, so end-to-end runs are fully deterministic and the
+// worker-count equivalence of histogram buckets can be asserted
+// bit-for-bit.
+type fakeTarget struct {
+	// fail, when set, marks ops with fail(op) true as HTTP 500.
+	fail func(Op) bool
+}
+
+func (t fakeTarget) Do(_ context.Context, op Op) Result {
+	if t.fail != nil && t.fail(op) {
+		return Result{Status: http.StatusInternalServerError, Latency: time.Millisecond}
+	}
+	// Derive a deterministic latency from the op's identity.
+	r := rng.Derive(99, uint64(op.Index), uint64(op.K), uint64(op.Vertex))
+	return Result{
+		Status:  http.StatusOK,
+		Latency: time.Duration(50_000 + r.Uint64n(5_000_000)), // 50µs..5ms
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		Seed:        42,
+		Queries:     600,
+		Warmup:      100,
+		Concurrency: 4,
+		Vertices:    5000,
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := Schedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed + config produced different schedules")
+	}
+	c, err := Schedule(Config{Seed: 43, Queries: 600, Warmup: 100, Vertices: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) != 700 {
+		t.Fatalf("schedule length %d, want warmup+queries = 700", len(a))
+	}
+	for i, op := range a {
+		if op.Index != i {
+			t.Fatalf("op %d has Index %d", i, op.Index)
+		}
+		if op.Warmup != (i < 100) {
+			t.Fatalf("op %d warmup flag wrong", i)
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Queries = 10000
+	cfg.Warmup = 0
+	ops, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [3]int
+	kOnes := 0
+	for _, op := range ops {
+		counts[endpointSlot(op.Endpoint)]++
+		switch op.Endpoint {
+		case EndpointTopK:
+			if op.K < 1 || op.K > 100 {
+				t.Fatalf("k=%d outside [1,100]", op.K)
+			}
+			if op.K == 1 {
+				kOnes++
+			}
+		case EndpointRank:
+			if int(op.Vertex) >= cfg.Vertices {
+				t.Fatalf("vertex %d outside id space", op.Vertex)
+			}
+		}
+	}
+	// Default mix 60/30/10 within generous tolerance.
+	if counts[0] < 5500 || counts[0] > 6500 {
+		t.Errorf("topk count %d far from 6000", counts[0])
+	}
+	if counts[1] < 2500 || counts[1] > 3500 {
+		t.Errorf("rank count %d far from 3000", counts[1])
+	}
+	if counts[2] < 700 || counts[2] > 1300 {
+		t.Errorf("stats count %d far from 1000", counts[2])
+	}
+	// Zipf skew: k=1 must dominate the topk draw (≈1/H weight, far
+	// above uniform 1%).
+	if kOnes*10 < counts[0] {
+		t.Errorf("k=1 drawn %d/%d times; Zipf skew missing", kOnes, counts[0])
+	}
+}
+
+func TestScheduleOpenLoopArrivals(t *testing.T) {
+	cfg := testConfig()
+	cfg.OpenLoop = true
+	cfg.Rate = 5000
+	ops, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration
+	for _, op := range ops {
+		if op.Warmup {
+			if op.Arrival != 0 {
+				t.Fatal("warmup op has an arrival offset")
+			}
+			continue
+		}
+		if op.Arrival <= prev {
+			t.Fatalf("arrivals not strictly increasing at op %d", op.Index)
+		}
+		prev = op.Arrival
+	}
+	// Mean inter-arrival should be near 1/rate: 600 measured queries
+	// at 5000/s span ≈120ms.
+	if prev < 60*time.Millisecond || prev > 240*time.Millisecond {
+		t.Errorf("total span %v far from expected 120ms", prev)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                            // no queries
+		{Queries: 10, Warmup: -1},     // negative warmup
+		{Queries: 10, OpenLoop: true}, // open loop without rate
+		{Queries: 10, ZipfS: -2, Vertices: 10},
+		{Queries: 10}, // rank traffic without Vertices
+		{Queries: 10, Mix: Mix{TopK: -1, Rank: 1}},             // negative weight
+		{Queries: 10, Mix: Mix{TopK: 1, Rank: 1}, Vertices: 0}, // rank without id space
+	}
+	for i, cfg := range bad {
+		if _, err := Schedule(cfg); err == nil {
+			t.Errorf("config %d unexpectedly valid: %+v", i, cfg)
+		}
+		if _, err := Run(context.Background(), cfg, fakeTarget{}); err == nil {
+			t.Errorf("Run accepted invalid config %d", i)
+		}
+	}
+	// Stats-only mix needs no vertex space.
+	if _, err := Schedule(Config{Queries: 10, Mix: Mix{Stats: 1}}); err != nil {
+		t.Errorf("stats-only mix rejected: %v", err)
+	}
+}
+
+// TestRunWorkerCountEquivalence is the satellite contract (mirroring
+// the repo's workers 1/2/4/7 convention): with a deterministic target,
+// the per-endpoint counts, error counts and histogram buckets are
+// bit-identical for every worker count and for repeated runs.
+func TestRunWorkerCountEquivalence(t *testing.T) {
+	base := testConfig()
+	run := func(conc, ramp int) *Report {
+		cfg := base
+		cfg.Concurrency = conc
+		cfg.RampStages = ramp
+		rep, err := Run(context.Background(), cfg, fakeTarget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ref := run(1, 1)
+	refTotal := ref.Total()
+	if refTotal.Count != uint64(base.Queries) {
+		t.Fatalf("measured %d queries, want %d", refTotal.Count, base.Queries)
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, ramp := range []int{1, 3} {
+			got := run(workers, ramp)
+			for _, ep := range Endpoints {
+				a, b := ref.PerEndpoint[ep], got.PerEndpoint[ep]
+				if (a == nil) != (b == nil) {
+					t.Fatalf("workers=%d ramp=%d: endpoint %s presence differs", workers, ramp, ep)
+				}
+				if a == nil {
+					continue
+				}
+				if a.Count != b.Count || a.Errors != b.Errors {
+					t.Errorf("workers=%d ramp=%d %s: counts %d/%d vs %d/%d",
+						workers, ramp, ep, a.Count, a.Errors, b.Count, b.Errors)
+				}
+				if !reflect.DeepEqual(a.Hist.Counts(), b.Hist.Counts()) {
+					t.Errorf("workers=%d ramp=%d %s: histogram buckets diverge", workers, ramp, ep)
+				}
+				if a.Hist.Sum() != b.Hist.Sum() {
+					t.Errorf("workers=%d ramp=%d %s: histogram sums diverge", workers, ramp, ep)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorsCountedNotRecorded(t *testing.T) {
+	cfg := testConfig()
+	cfg.Warmup = 0
+	rep, err := Run(context.Background(), cfg, fakeTarget{
+		fail: func(op Op) bool { return op.Endpoint == EndpointRank },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.PerEndpoint[EndpointRank]
+	if st == nil || st.Errors != st.Count || st.Errors == 0 {
+		t.Fatalf("rank errors not counted: %+v", st)
+	}
+	if st.Hist.Count() != 0 {
+		t.Errorf("failed queries leaked %d samples into the histogram", st.Hist.Count())
+	}
+	if ok := rep.PerEndpoint[EndpointTopK]; ok == nil || ok.Errors != 0 || ok.Hist.Count() != uint64(ok.Count) {
+		t.Errorf("topk stats wrong: %+v", ok)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	cfg := Config{
+		Seed: 7, Queries: 200, Warmup: 20, Concurrency: 4,
+		OpenLoop: true, Rate: 20000, Vertices: 1000,
+	}
+	rep, err := Run(context.Background(), cfg, fakeTarget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := rep.Total()
+	if total.Count != 200 {
+		t.Fatalf("open loop measured %d queries, want 200", total.Count)
+	}
+	if total.Errors != 0 {
+		t.Fatalf("open loop errors: %d", total.Errors)
+	}
+	if rep.QueriesPerSecond() <= 0 {
+		t.Error("no throughput reported")
+	}
+	// The schedule spans ≈10ms at 20k/s; wall time must at least cover it.
+	if rep.Wall <= 0 {
+		t.Error("no wall time")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testConfig(), fakeTarget{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+}
+
+// TestRunAgainstServeHandler drives a real serve.Server in-process on
+// a small power-law graph: every query must succeed, which pins the
+// op→URL rendering against the actual API (bad k or vertex ranges
+// would surface as 4xx errors here).
+func TestRunAgainstServeHandler(t *testing.T) {
+	g, err := gen.PowerLaw(gen.TwitterLike(2000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := serve.NewService(g, serve.ServiceConfig{
+		Build: serve.BuildConfig{Engine: serve.EngineFrogWild, Machines: 4, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seed: 11, Queries: 400, Warmup: 50, Concurrency: 4,
+		Vertices: g.NumVertices(), MaxK: 50,
+	}
+	rep, err := Run(context.Background(), cfg, HandlerTarget{Handler: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := rep.Total()
+	if total.Count != 400 {
+		t.Fatalf("measured %d queries, want 400", total.Count)
+	}
+	if total.Errors != 0 {
+		t.Fatalf("%d queries failed against the live handler", total.Errors)
+	}
+	if total.Hist.Count() != 400 || total.Hist.Max() <= 0 {
+		t.Fatalf("latency histogram empty: %s", total.Hist.String())
+	}
+	// The warmup must have primed the per-k cache; the server saw
+	// warmup+measured queries in total.
+	if srv.Queries() != 450 {
+		t.Errorf("server counted %d queries, want 450", srv.Queries())
+	}
+	doc := rep.BenchDoc("prload", map[string]string{"target": "in-process"})
+	if len(doc.Benchmarks) < 2 || doc.Benchmarks[0].Name != "prload/all" {
+		t.Fatalf("bench doc shape wrong: %+v", doc.Benchmarks)
+	}
+	if doc.Benchmarks[0].Metrics["queries/s"] <= 0 {
+		t.Error("bench doc missing throughput")
+	}
+	if doc.Env["target"] != "in-process" {
+		t.Error("bench doc env not merged")
+	}
+}
+
+// TestRunAgainstServeHandler404 pins the error-path accounting against
+// the real handler: vertex ids outside the graph must come back as
+// errors, not histogram samples.
+func TestRunAgainstServeHandler404(t *testing.T) {
+	g, err := gen.PowerLaw(gen.TwitterLike(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := serve.NewService(g, serve.ServiceConfig{
+		Build: serve.BuildConfig{Engine: serve.EngineGLPR, Iterations: 2, Machines: 2, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seed: 5, Queries: 200, Concurrency: 2,
+		Mix:      Mix{Rank: 1},
+		Vertices: g.NumVertices() * 10, // most ids miss
+	}
+	rep, err := Run(context.Background(), cfg, HandlerTarget{Handler: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.PerEndpoint[EndpointRank]
+	if st == nil || st.Errors == 0 {
+		t.Fatalf("out-of-range vertices produced no errors: %+v", st)
+	}
+	if st.Hist.Count() != uint64(st.Count-st.Errors) {
+		t.Errorf("histogram count %d != successes %d", st.Hist.Count(), st.Count-st.Errors)
+	}
+}
+
+func TestHTTPTargetBadURL(t *testing.T) {
+	res := HTTPTarget{BaseURL: "http://127.0.0.1:0"}.Do(context.Background(), Op{Endpoint: EndpointStats})
+	if res.Err == nil {
+		t.Fatal("dial to port 0 succeeded?")
+	}
+}

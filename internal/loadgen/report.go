@@ -1,0 +1,62 @@
+package loadgen
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// BenchEntry is one entry in the shared benchfmt schema, so prload
+// reports drop straight into the BENCH_* artifact trajectory and
+// `benchreport compare` can diff them against any baseline in that
+// schema.
+type BenchEntry = benchfmt.Benchmark
+
+// BenchDoc is the shared benchfmt report document.
+type BenchDoc = benchfmt.Report
+
+// ms converts a nanosecond quantity to milliseconds for reporting.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// entry renders one endpoint's stats as a benchmark entry. Throughput
+// uses the whole measured phase's wall time (endpoints run
+// interleaved, not sequentially).
+func (r *Report) entry(name string, st Stats) BenchEntry {
+	m := map[string]float64{
+		"queries/s": 0,
+		"errors":    float64(st.Errors),
+		"p50/ms":    ms(st.Hist.QuantileDuration(0.50)),
+		"p90/ms":    ms(st.Hist.QuantileDuration(0.90)),
+		"p95/ms":    ms(st.Hist.QuantileDuration(0.95)),
+		"p99/ms":    ms(st.Hist.QuantileDuration(0.99)),
+		"max/ms":    ms(time.Duration(st.Hist.Max())),
+	}
+	if r.Wall > 0 {
+		m["queries/s"] = float64(st.Count) / r.Wall.Seconds()
+	}
+	return BenchEntry{Name: name, Iterations: int64(st.Count), Metrics: m}
+}
+
+// BenchDoc renders the report in the benchreport schema under the
+// given name prefix: one aggregate entry "<prefix>/all" plus one per
+// endpoint that saw traffic, with queries/s, latency percentiles in
+// milliseconds and the error count as metrics. env entries are merged
+// over the standard goos/goarch/cpu header.
+func (r *Report) BenchDoc(prefix string, env map[string]string) *BenchDoc {
+	doc := &BenchDoc{Env: map[string]string{
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"go":     runtime.Version(),
+	}}
+	for k, v := range env {
+		doc.Env[k] = v
+	}
+	doc.Benchmarks = append(doc.Benchmarks, r.entry(prefix+"/all", r.Total()))
+	for _, ep := range Endpoints {
+		if st, ok := r.PerEndpoint[ep]; ok {
+			doc.Benchmarks = append(doc.Benchmarks, r.entry(prefix+"/"+string(ep), *st))
+		}
+	}
+	return doc
+}

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HandlerTarget drives an http.Handler in-process (no sockets, no
+// serialization over a wire): each op becomes a GET served directly by
+// Handler.ServeHTTP into a discarding response sink. This measures the
+// pure serving path — snapshot lookup, selection, JSON marshal —
+// which is what the CI perf gate wants to regress-test, independent of
+// the runner's loopback stack.
+type HandlerTarget struct {
+	Handler http.Handler
+}
+
+// Do implements Target.
+func (t HandlerTarget) Do(ctx context.Context, op Op) Result {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, op.URL(), nil)
+	if err != nil {
+		return Result{Err: err}
+	}
+	sink := &responseSink{status: http.StatusOK}
+	start := time.Now()
+	t.Handler.ServeHTTP(sink, req)
+	return Result{Latency: time.Since(start), Status: sink.status}
+}
+
+// responseSink is a minimal http.ResponseWriter that discards the body
+// and remembers the status, so the handler's marshal work is fully
+// exercised without buffering responses.
+type responseSink struct {
+	header http.Header
+	status int
+}
+
+func (s *responseSink) Header() http.Header {
+	if s.header == nil {
+		s.header = make(http.Header)
+	}
+	return s.header
+}
+
+func (s *responseSink) Write(p []byte) (int, error) { return len(p), nil }
+
+func (s *responseSink) WriteHeader(status int) { s.status = status }
+
+// HTTPTarget drives a live server over real HTTP, measuring full
+// round-trip latency including the network stack. Bodies are drained
+// so keep-alive connections are reused.
+type HTTPTarget struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Client defaults to a dedicated client with keep-alives.
+	Client *http.Client
+}
+
+// Do implements Target.
+func (t HTTPTarget) Do(ctx context.Context, op Op) Result {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimSuffix(t.BaseURL, "/") + op.URL()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Result{Err: err}
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return Result{Latency: time.Since(start), Err: err}
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return Result{Latency: time.Since(start), Status: resp.StatusCode, Err: err}
+}

@@ -97,6 +97,13 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 // Handler returns the HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// ServeHTTP makes *Server itself an http.Handler, so in-process
+// drivers (the load generator, httptest) can hit the full API without
+// a listener.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
 // Queries returns the total query count across the /v1 endpoints.
 func (s *Server) Queries() uint64 { return s.queries.Load() }
 

@@ -40,6 +40,7 @@ package repro
 
 import (
 	"context"
+	"net/http"
 
 	"repro/internal/cluster"
 	"repro/internal/frogwild"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/graph/gio"
+	"repro/internal/loadgen"
 	"repro/internal/montecarlo"
 	"repro/internal/pagerank"
 	"repro/internal/serve"
@@ -412,6 +414,37 @@ func NewSnapshot(g *Graph, cfg SnapshotConfig) (*Snapshot, error) {
 // configured cadence. See cmd/prserve for the endpoint table.
 func Serve(ctx context.Context, addr string, g *Graph, cfg ServeConfig) error {
 	return serve.ListenAndServe(ctx, addr, g, cfg)
+}
+
+// NewServerHandler computes a snapshot of g and returns the full query
+// API as an in-process http.Handler (no listener): the hook the load
+// generator, tests and embedders drive directly.
+func NewServerHandler(g *Graph, cfg SnapshotConfig) (http.Handler, error) {
+	srv, _, err := serve.NewService(g, serve.ServiceConfig{Build: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// LoadConfig fixes a deterministic query workload for the load
+// generator: Zipf-skewed topk/rank/stats traffic, open or closed loop,
+// warmup and concurrency ramp. See internal/loadgen.
+type LoadConfig = loadgen.Config
+
+// LoadMix weights the query kinds in a load test; the zero value is
+// 60% topk / 30% rank / 10% stats.
+type LoadMix = loadgen.Mix
+
+// LoadReport is a load test's outcome: wall time plus per-endpoint
+// counts, error counts and latency histograms.
+type LoadReport = loadgen.Report
+
+// RunLoadTest drives handler (e.g. the result of NewServerHandler)
+// with cfg's deterministic workload and returns the measured report.
+// Same seed + config means the same query sequence, always.
+func RunLoadTest(ctx context.Context, cfg LoadConfig, handler http.Handler) (*LoadReport, error) {
+	return loadgen.Run(ctx, cfg, loadgen.HandlerTarget{Handler: handler})
 }
 
 // FrogEstimator selects what FrogWild's per-vertex tally counts.
