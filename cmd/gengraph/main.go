@@ -1,20 +1,28 @@
 // Command gengraph generates synthetic directed graphs in the shapes
 // the FrogWild reproduction uses (power-law "twitterlike" /
 // "livejournallike" presets, custom power-law, R-MAT, Erdős–Rényi) and
-// writes them as edge-list text or compact binary (gzipped when the
-// output path ends in .gz).
+// writes them as edge-list text, compact binary, or the mmap-able
+// gstore CSR format (gzipped when the output path ends in .gz).
 //
 // Usage:
 //
 //	gengraph -type twitterlike -n 100000 -seed 42 -out tw.bin.gz
+//	gengraph -type twitterlike -n 100000 -format csr -out tw.csr
 //	gengraph -type powerlaw -n 50000 -mean 12 -degexp 2.1 -out g.txt
 //	gengraph -type rmat -scale 18 -edgefactor 16 -out rmat.bin
 //	gengraph -type er -n 10000 -m 100000 -out er.txt.gz
+//
+// -format selects the output encoding explicitly: edgelist, binary, or
+// csr (the gstore format prserve/prload can mmap via -graph-cache).
+// The default, auto, keeps the historical suffix behavior: paths
+// containing ".bin" get binary, everything else edge-list text.
+// Unknown values are a usage error (exit code 2).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,24 +30,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body. Exit codes: 0 success, 1 runtime
+// failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		typ        = flag.String("type", "twitterlike", "graph type: twitterlike|livejournallike|powerlaw|rmat|er")
-		n          = flag.Int("n", 100000, "vertex count (twitterlike/livejournallike/powerlaw/er)")
-		m          = flag.Int64("m", 0, "edge count (er; default 10n)")
-		mean       = flag.Float64("mean", 12, "mean out-degree (powerlaw)")
-		degExp     = flag.Float64("degexp", 2.1, "out-degree Zipf exponent (powerlaw)")
-		prefExp    = flag.Float64("prefexp", 1.0, "destination popularity exponent (powerlaw)")
-		scale      = flag.Int("scale", 16, "log2 vertex count (rmat)")
-		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex (rmat)")
-		seed       = flag.Uint64("seed", 1, "generator seed")
-		out        = flag.String("out", "", "output path (required; .gz compresses, .bin selects binary)")
-		stats      = flag.Bool("stats", true, "print graph statistics")
+		typ        = fs.String("type", "twitterlike", "graph type: twitterlike|livejournallike|powerlaw|rmat|er")
+		n          = fs.Int("n", 100000, "vertex count (twitterlike/livejournallike/powerlaw/er)")
+		m          = fs.Int64("m", 0, "edge count (er; default 10n)")
+		mean       = fs.Float64("mean", 12, "mean out-degree (powerlaw)")
+		degExp     = fs.Float64("degexp", 2.1, "out-degree Zipf exponent (powerlaw)")
+		prefExp    = fs.Float64("prefexp", 1.0, "destination popularity exponent (powerlaw)")
+		scale      = fs.Int("scale", 16, "log2 vertex count (rmat)")
+		edgeFactor = fs.Int("edgefactor", 16, "edges per vertex (rmat)")
+		seed       = fs.Uint64("seed", 1, "generator seed")
+		out        = fs.String("out", "", "output path (required; .gz compresses)")
+		format     = fs.String("format", "auto", "output format: auto|edgelist|binary|csr (auto: .bin selects binary, else edge list)")
+		stats      = fs.Bool("stats", true, "print graph statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "gengraph: -out is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gengraph: -out is required")
+		fs.Usage()
+		return 2
+	}
+	// Resolve the writer up front so a bad -format is rejected before
+	// minutes of generation work.
+	var save func(string, *repro.Graph) error
+	switch *format {
+	case "auto":
+		if strings.Contains(*out, ".bin") {
+			save = repro.SaveGraphBinary
+		} else {
+			save = repro.SaveGraph
+		}
+	case "edgelist":
+		save = repro.SaveGraph
+	case "binary":
+		save = repro.SaveGraphBinary
+	case "csr":
+		save = repro.SaveGraphCSR
+	default:
+		fmt.Fprintf(stderr, "gengraph: unknown -format %q (want auto|edgelist|binary|csr)\n", *format)
+		fs.Usage()
+		return 2
 	}
 
 	var (
@@ -64,25 +104,23 @@ func main() {
 		}
 		g, err = repro.ErdosRenyiGraph(*n, edges, *seed)
 	default:
-		err = fmt.Errorf("unknown -type %q", *typ)
+		fmt.Fprintf(stderr, "gengraph: unknown -type %q\n", *typ)
+		fs.Usage()
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "gengraph: %v\n", err)
+		return 1
 	}
 
-	if strings.Contains(*out, ".bin") {
-		err = repro.SaveGraphBinary(*out, g)
-	} else {
-		err = repro.SaveGraph(*out, g)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gengraph: writing %s: %v\n", *out, err)
-		os.Exit(1)
+	if err := save(*out, g); err != nil {
+		fmt.Fprintf(stderr, "gengraph: writing %s: %v\n", *out, err)
+		return 1
 	}
 	if *stats {
 		s := repro.ComputeGraphStats(g)
-		fmt.Printf("wrote %s: %d vertices, %d edges, mean deg %.2f, max out %d, max in %d, gini %.3f\n",
+		fmt.Fprintf(stdout, "wrote %s: %d vertices, %d edges, mean deg %.2f, max out %d, max in %d, gini %.3f\n",
 			*out, s.NumVertices, s.NumEdges, s.MeanDeg, s.MaxOutDeg, s.MaxInDeg, s.GiniOut)
 	}
+	return 0
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestUnknownFormatIsUsageError pins the satellite contract: a bogus
+// -format exits 2 with a usage message instead of silently defaulting,
+// and is rejected before any generation work (the -n here would
+// otherwise take noticeable time).
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "bogus", "-n", "2000000", "-out", filepath.Join(t.TempDir(), "g.txt")},
+		&stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown -format "bogus"`) {
+		t.Fatalf("stderr missing format diagnosis: %q", msg)
+	}
+	if !strings.Contains(msg, "Usage of gengraph") {
+		t.Fatalf("stderr missing usage: %q", msg)
+	}
+}
+
+func TestMissingOutIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-type", "er", "-n", "10"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestFormats generates a tiny graph in every explicit format and
+// reloads each through the auto-detecting loader.
+func TestFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		format, file string
+	}{
+		{"edgelist", "g.txt"},
+		{"binary", "g.bin"},
+		{"csr", "g.csr"},
+		{"csr", "g.csr.gz"},
+	} {
+		t.Run(tc.format+"/"+tc.file, func(t *testing.T) {
+			path := filepath.Join(dir, tc.file)
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"-type", "er", "-n", "50", "-m", "300", "-seed", "7",
+				"-format", tc.format, "-out", path}, &stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("exit %d: %s", code, stderr.String())
+			}
+			g, err := repro.LoadGraph(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			if g.NumVertices() != 50 {
+				t.Fatalf("reloaded n = %d", g.NumVertices())
+			}
+			if !strings.Contains(stdout.String(), "50 vertices") {
+				t.Fatalf("stats line missing: %q", stdout.String())
+			}
+		})
+	}
+}

@@ -59,7 +59,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		url      = fs.String("url", "", "drive a live server at this base URL instead of in-process")
-		path     = fs.String("graph", "", "in-process: graph file (edge list or binary, auto-detected)")
+		path     = fs.String("graph", "", "in-process: graph file (gstore CSR, binary, or edge list; auto-detected)")
+		cache    = fs.String("graph-cache", "", "in-process: gstore CSR cache file — mmap it if present, else build from -graph/-gen and save it")
+		snapDir  = fs.String("snapshot-dir", "", "in-process: warm-start the served snapshot from this directory (and persist the built one there), like prserve")
 		genType  = fs.String("gen", "twitterlike", "in-process: generator, twitterlike|livejournallike")
 		n        = fs.Int("n", 50000, "in-process: vertex count when generating")
 		engine   = fs.String("engine", "frogwild", "in-process: snapshot engine, frogwild|glpr|exact")
@@ -125,7 +127,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		target = loadgen.HTTPTarget{BaseURL: *url, Client: &http.Client{}}
 		env["target"] = *url
 	} else {
-		handler, vcount, err := buildInProcess(*path, *genType, *n, *engine, *machines, *maxK, *seed)
+		handler, vcount, err := buildInProcess(*path, *cache, *snapDir, *genType, *n, *engine, *machines, *maxK, *seed)
 		if err != nil {
 			fmt.Fprintf(stderr, "prload: %v\n", err)
 			return 1
@@ -179,36 +181,53 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // buildInProcess assembles the in-process serving handler: load or
-// generate the graph, compute the snapshot, wrap it in the query API.
-func buildInProcess(path, genType string, n int, engine string, machines, maxK int, seed uint64) (http.Handler, int, error) {
+// generate the graph (through the mmap-able gstore cache when
+// -graph-cache is set), compute or warm-start the snapshot (through
+// -snapshot-dir), wrap it in the query API.
+func buildInProcess(path, cache, snapDir, genType string, n int, engine string, machines, maxK int, seed uint64) (http.Handler, int, error) {
 	eng, err := serve.ParseEngine(engine)
 	if err != nil {
 		return nil, 0, err
 	}
+	build := func() (*repro.Graph, error) {
+		switch {
+		case path != "":
+			return repro.LoadGraph(path)
+		case genType == "twitterlike":
+			return repro.TwitterLikeGraph(n, seed)
+		case genType == "livejournallike":
+			return repro.LiveJournalLikeGraph(n, seed)
+		}
+		return nil, fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
+	}
 	var g *repro.Graph
-	switch {
-	case path != "":
-		g, err = repro.LoadGraph(path)
-	case genType == "twitterlike":
-		g, err = repro.TwitterLikeGraph(n, seed)
-	case genType == "livejournallike":
-		g, err = repro.LiveJournalLikeGraph(n, seed)
-	default:
-		err = fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
+	if cache != "" {
+		g, err = repro.CachedGraph(cache, build)
+		// A path-keyed cache hit can silently mask changed generation
+		// flags; catch the cheap-to-check mismatch.
+		if err == nil && path == "" && g.NumVertices() != n {
+			err = fmt.Errorf("graph cache %s holds %d vertices but -n is %d; delete the cache to regenerate",
+				cache, g.NumVertices(), n)
+		}
+	} else {
+		g, err = build()
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	handler, err := repro.NewServerHandler(g, repro.SnapshotConfig{
-		Engine:   eng,
-		Machines: machines,
-		Seed:     seed,
-		MaxK:     maxK,
+	srv, _, err := serve.NewService(g, serve.ServiceConfig{
+		Build: serve.BuildConfig{
+			Engine:   eng,
+			Machines: machines,
+			Seed:     seed,
+			MaxK:     maxK,
+		},
+		SnapshotDir: snapDir,
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	return handler, g.NumVertices(), nil
+	return srv, g.NumVertices(), nil
 }
 
 // parseMix parses "topk=0.6,rank=0.3,stats=0.1" (weights are relative;

@@ -154,23 +154,86 @@ func TestParseMix(t *testing.T) {
 }
 
 func TestBuildInProcessErrors(t *testing.T) {
-	if _, _, err := buildInProcess("", "nosuchgen", 100, "frogwild", 2, 20, 1); err == nil {
+	if _, _, err := buildInProcess("", "", "", "nosuchgen", 100, "frogwild", 2, 20, 1); err == nil {
 		t.Error("unknown generator accepted")
 	}
-	if _, _, err := buildInProcess("", "twitterlike", 100, "nosuchengine", 2, 20, 1); err == nil {
+	if _, _, err := buildInProcess("", "", "", "twitterlike", 100, "nosuchengine", 2, 20, 1); err == nil {
 		t.Error("unknown engine accepted")
 	}
-	if _, _, err := buildInProcess("/no/such/file", "", 100, "frogwild", 2, 20, 1); err == nil {
+	if _, _, err := buildInProcess("/no/such/file", "", "", "", 100, "frogwild", 2, 20, 1); err == nil {
 		t.Error("missing graph file accepted")
 	}
 }
 
 func TestBuildInProcessTiny(t *testing.T) {
-	h, n, err := buildInProcess("", "twitterlike", 300, "glpr", 2, 20, 1)
+	h, n, err := buildInProcess("", "", "", "twitterlike", 300, "glpr", 2, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h == nil || n != 300 {
 		t.Fatalf("handler %v, n = %d", h, n)
+	}
+}
+
+// TestRunGraphCache pins the -graph-cache protocol end to end: the
+// first run builds the graph and writes the gstore cache, the second
+// mmaps it (same report shape, no rebuild), and a corrupt cache is a
+// hard failure.
+func TestRunGraphCache(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "g.csr")
+	args := tinyRun("-graph-cache", cache)
+
+	if code, _, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, stderr)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	if code, stdout, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("cached run exit %d: %s", code, stderr)
+	} else if !strings.Contains(stdout, "queries/s") {
+		t.Fatal("cached run produced no report")
+	}
+
+	// A cache hit that contradicts the generation flags is refused.
+	mismatch := append([]string{}, args...)
+	for i, a := range mismatch {
+		if a == "-n" {
+			mismatch[i+1] = "1234"
+		}
+	}
+	if code, _, stderr := runCLI(t, mismatch...); code != 1 || !strings.Contains(stderr, "delete the cache") {
+		t.Fatalf("stale cache exit %d (want 1), stderr: %s", code, stderr)
+	}
+
+	raw, err := os.ReadFile(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(cache, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, args...); code != 1 {
+		t.Fatalf("corrupt cache exit %d, want 1", code)
+	}
+}
+
+// TestRunSnapshotDir: the first run persists its snapshot, the second
+// warm-starts from it (still a clean exit and a full report).
+func TestRunSnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	args := tinyRun("-snapshot-dir", dir)
+	if code, _, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.fws")); err != nil {
+		t.Fatalf("snapshot not persisted: %v", err)
+	}
+	if code, stdout, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("warm run exit %d: %s", code, stderr)
+	} else if !strings.Contains(stdout, "queries/s") {
+		t.Fatal("warm run produced no report")
 	}
 }

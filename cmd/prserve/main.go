@@ -10,7 +10,7 @@
 //	prserve -gen twitterlike -n 50000 -addr :8080 -refresh 30s
 //	prserve -graph tw.bin.gz -engine frogwild -walkers 100000 -ps 0.7
 //	prserve -gen livejournallike -n 20000 -engine glpr -iters 5
-//	prserve -gen twitterlike -n 10000 -engine exact -workers 0
+//	prserve -gen twitterlike -n 50000 -graph-cache tw.csr -snapshot-dir /var/lib/prserve
 //
 // API:
 //
@@ -20,8 +20,18 @@
 //	GET /v1/stats                      provenance, graph + serving stats
 //	GET /healthz                       200 once a snapshot is published
 //
-// -refresh 0 disables background refresh: the initial snapshot serves
-// forever. SIGINT/SIGTERM shut the server down gracefully.
+// Restart cost is optional: -graph-cache FILE keeps the graph in the
+// mmap-able gstore CSR format (built from -graph/-gen on the first
+// run, mapped zero-copy afterwards), and -snapshot-dir DIR persists
+// every published snapshot so a restarted server warm-starts — it
+// answers queries from the last persisted estimate in milliseconds,
+// with that epoch's provenance, while the first fresh estimate
+// computes in the background.
+//
+// -refresh 0 disables the recompute cadence: the initial snapshot
+// serves forever (after a warm start, one background refresh still
+// replaces the restored estimate). SIGINT/SIGTERM shut the server
+// down gracefully.
 package main
 
 import (
@@ -41,9 +51,11 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		path     = flag.String("graph", "", "graph file (edge list or binary, auto-detected)")
+		path     = flag.String("graph", "", "graph file (gstore CSR, binary, or edge list; auto-detected)")
 		genType  = flag.String("gen", "", "generate instead of load: twitterlike|livejournallike")
 		n        = flag.Int("n", 50000, "vertex count when generating")
+		cache    = flag.String("graph-cache", "", "gstore CSR cache file: mmap it if present, else build from -graph/-gen and save it")
+		snapDir  = flag.String("snapshot-dir", "", "persist every published snapshot here and warm-start from the last one")
 		engine   = flag.String("engine", "frogwild", "estimate engine: frogwild|glpr|exact")
 		walkers  = flag.Int("walkers", 0, "frogwild walker count N (default: vertices/6)")
 		iters    = flag.Int("iters", 0, "iterations: frogwild walk cutoff (default 4) / glpr supersteps (0 = to tolerance)")
@@ -68,21 +80,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	buildGraph := func() (*repro.Graph, error) {
+		switch {
+		case *path != "":
+			return repro.LoadGraph(*path)
+		case *genType == "twitterlike":
+			return repro.TwitterLikeGraph(*n, *seed)
+		case *genType == "livejournallike":
+			return repro.LiveJournalLikeGraph(*n, *seed)
+		}
+		return nil, fmt.Errorf("provide -graph FILE, -gen twitterlike|livejournallike, or an existing -graph-cache")
+	}
+	loadStart := time.Now()
 	var g *repro.Graph
-	switch {
-	case *path != "":
-		g, err = repro.LoadGraph(*path)
-	case *genType == "twitterlike":
-		g, err = repro.TwitterLikeGraph(*n, *seed)
-	case *genType == "livejournallike":
-		g, err = repro.LiveJournalLikeGraph(*n, *seed)
-	default:
-		err = fmt.Errorf("provide -graph FILE or -gen twitterlike|livejournallike")
+	if *cache != "" {
+		g, err = repro.CachedGraph(*cache, buildGraph)
+		// The cache key is the file path, so a hit can silently mask
+		// changed generation flags; catch the cheap-to-check mismatch.
+		if err == nil && *path == "" && *genType != "" && g.NumVertices() != *n {
+			err = fmt.Errorf("graph cache %s holds %d vertices but -n is %d; delete the cache to regenerate",
+				*cache, g.NumVertices(), *n)
+		}
+	} else {
+		g, err = buildGraph()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prserve: %v\n", err)
 		os.Exit(1)
 	}
+	defer g.Close()
+	cacheNote := ""
+	if *cache != "" {
+		cacheNote = fmt.Sprintf(" (cache %s)", *cache)
+	}
+	log.Printf("prserve: graph %d vertices / %d edges ready in %.3fs%s",
+		g.NumVertices(), g.NumEdges(), time.Since(loadStart).Seconds(), cacheNote)
 
 	cfg := serve.ServiceConfig{
 		Build: serve.BuildConfig{
@@ -98,23 +130,30 @@ func main() {
 		},
 		RefreshInterval: *refresh,
 		OnRefreshError:  func(err error) { log.Printf("prserve: refresh: %v", err) },
+		SnapshotDir:     *snapDir,
 	}
 
-	log.Printf("prserve: graph %d vertices / %d edges; building initial %s snapshot...",
-		g.NumVertices(), g.NumEdges(), eng)
 	start := time.Now()
 	srv, refresher, err := serve.NewService(g, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prserve: initial snapshot: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("prserve: snapshot epoch 1 ready in %.2fs (top index k<=%d)",
-		time.Since(start).Seconds(), cfg.Build.MaxK)
+	snap := srv.Snapshot()
+	if snap.WarmStart {
+		log.Printf("prserve: warm start from %s: serving persisted epoch %d (%s, seed %d) after %.3fs; first refresh runs in the background",
+			serve.SnapshotPath(*snapDir), snap.Epoch, snap.Engine, snap.Seed, time.Since(start).Seconds())
+	} else {
+		log.Printf("prserve: snapshot epoch %d ready in %.2fs (top index k<=%d)",
+			snap.Epoch, time.Since(start).Seconds(), cfg.Build.MaxK)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *refresh > 0 {
-		log.Printf("prserve: background refresh every %s", *refresh)
+	if *refresh > 0 || snap.WarmStart {
+		if *refresh > 0 {
+			log.Printf("prserve: background refresh every %s", *refresh)
+		}
 		go refresher.Run(ctx, cfg.OnRefreshError)
 	}
 	log.Printf("prserve: serving on %s", *addr)
@@ -122,6 +161,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "prserve: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("prserve: graceful shutdown after %d queries (%d cache hits, %d refreshes)",
-		srv.Queries(), srv.CacheHits(), refresher.Refreshes())
+	log.Printf("prserve: graceful shutdown after %d queries (%d cache hits, %d refreshes, %d persist errors)",
+		srv.Queries(), srv.CacheHits(), refresher.Refreshes(), refresher.PersistErrors())
 }

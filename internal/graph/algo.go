@@ -4,14 +4,36 @@ package graph
 // extensions: transposition, induced subgraphs, reachability and
 // strongly connected components (Tarjan's algorithm, iterative).
 
-// Transpose returns the graph with every edge reversed.
+// Transpose returns the graph with every edge reversed, bit-identical
+// to rebuilding from the reversed edge list but without materializing
+// any []Edge. Three of the four CSR arrays come straight from the
+// receiver: the transpose's offsets are the receiver's swapped, and
+// its in-adjacency is the receiver's out-adjacency (the reversed edge
+// list is enumerated in the receiver's src-major order, so each
+// vertex's gT-predecessors appear exactly in its g-successor order).
+// Only the transpose's out-adjacency needs work: one counting-scatter
+// pass over the receiver's edges, which groups each vertex's reversed
+// sources in ascending order as the edge-list rebuild would. The
+// result is always heap-backed, so it outlives a Close of a
+// file-backed receiver.
 func (g *Graph) Transpose() *Graph {
-	edges := make([]Edge, 0, g.NumEdges())
-	g.Edges(func(e Edge) bool {
-		edges = append(edges, Edge{Src: e.Dst, Dst: e.Src})
-		return true
-	})
-	return fromEdges(g.n, edges)
+	n := g.n
+	t := &Graph{
+		n:      n,
+		outOff: append([]int64(nil), g.inOff...),
+		outAdj: make([]VertexID, len(g.inAdj)),
+		inOff:  append([]int64(nil), g.outOff...),
+		inAdj:  append([]VertexID(nil), g.outAdj...),
+	}
+	pos := make([]int64, n)
+	copy(pos, t.outOff[:n])
+	for u := 0; u < n; u++ {
+		for _, d := range g.OutNeighbors(VertexID(u)) {
+			t.outAdj[pos[d]] = VertexID(u)
+			pos[d]++
+		}
+	}
+	return t
 }
 
 // InducedSubgraph returns the subgraph induced by keep (vertices with

@@ -1,12 +1,18 @@
-// Package gio reads and writes graphs in two formats:
+// Package gio reads and writes graphs in three formats:
 //
 //   - SNAP-style edge-list text: one "src dst" pair per line, '#'
 //     comments allowed, the format of the paper's LiveJournal and
 //     Twitter datasets. Vertex ids are remapped densely in first-seen
 //     order unless they are already dense.
-//   - A compact binary CSR format ("FWG1") for fast reloads.
+//   - A compact binary edge-list format ("FWG1") for fast reloads;
+//     loading rebuilds the CSR arrays.
+//   - The gstore mmap-able CSR format ("FWGSTOR1", see
+//     internal/graph/gstore): checksummed sections that Load opens
+//     zero-copy, so open time is independent of graph size.
 //
-// Files ending in ".gz" are compressed/decompressed transparently.
+// Load auto-detects all three by magic. Files ending in ".gz" are
+// compressed/decompressed transparently (a gzipped gstore file is
+// decoded from the stream instead of mmap'd).
 package gio
 
 import (
@@ -16,11 +22,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/graph/gstore"
 )
 
 // openReader opens path for reading, wrapping in gzip when the name
@@ -230,9 +238,17 @@ func WriteBinary(w io.Writer, g *graph.Graph) error {
 // ErrBadFormat indicates a corrupt or foreign binary graph file.
 var ErrBadFormat = errors.New("gio: not a FWG1 binary graph")
 
-// ReadBinary deserializes a graph written by WriteBinary.
+// ReadBinary deserializes a graph written by WriteBinary, including
+// the O(E) structural validation (the format has no checksums, so the
+// rebuilt CSR is the only integrity check). Use LoadWith with
+// ValidateOff to skip it.
 func ReadBinary(r io.Reader) (*graph.Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	return readBinary(bufio.NewReaderSize(r, 1<<20), true)
+}
+
+// readBinary is ReadBinary over an existing buffered reader with the
+// validation pass optional.
+func readBinary(br io.Reader, validate bool) (*graph.Graph, error) {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
@@ -249,9 +265,13 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	if n > 1<<31 || m > 1<<40 {
 		return nil, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrBadFormat, n, m)
 	}
-	edges := make([]graph.Edge, m)
+	// Grow the edge slice as records arrive instead of trusting the
+	// header's m for one up-front allocation: a truncated or hostile
+	// file then fails with a format error once the stream ends, having
+	// allocated memory proportional to the actual data.
+	edges := make([]graph.Edge, 0, min(m, 1<<20))
 	var rec [8]byte
-	for i := range edges {
+	for i := uint64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("%w: truncated at edge %d", ErrBadFormat, i)
 		}
@@ -260,11 +280,13 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 		if uint64(s) >= n || uint64(d) >= n {
 			return nil, fmt.Errorf("%w: edge %d out of range", ErrBadFormat, i)
 		}
-		edges[i] = graph.Edge{Src: s, Dst: d}
+		edges = append(edges, graph.Edge{Src: s, Dst: d})
 	}
 	g := graph.FromEdges(int(n), edges)
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	if validate {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
 	}
 	return g, nil
 }
@@ -292,18 +314,129 @@ func LoadBinary(path string) (*graph.Graph, error) {
 	return ReadBinary(rc)
 }
 
-// Load loads a graph from path, auto-detecting the format: binary if
-// the magic matches, edge-list text otherwise.
+// ValidateMode says whether loaders run the O(E) Graph.Validate pass
+// after building the graph.
+type ValidateMode int
+
+const (
+	// ValidateAuto validates formats with no integrity protection of
+	// their own (the FWG1 binary edge list) and skips the pass where
+	// it is redundant: gstore files carry per-section checksums, and
+	// edge-list text is built by the Builder, which only produces
+	// well-formed graphs.
+	ValidateAuto ValidateMode = iota
+	// ValidateOn always runs the pass — the right choice for files
+	// from untrusted sources, including crafted gstore files whose
+	// checksums match their (hostile) content.
+	ValidateOn
+	// ValidateOff never runs it.
+	ValidateOff
+)
+
+// LoadOptions controls LoadWith across all three formats.
+type LoadOptions struct {
+	// EdgeList applies when the file turns out to be edge-list text.
+	EdgeList EdgeListOptions
+	// Validate selects the post-load O(E) validation policy.
+	Validate ValidateMode
+	// Mmap selects how gstore files are opened (auto = mmap with
+	// buffered-read fallback). Ignored for the other formats and for
+	// gzipped gstore streams, which are always buffered.
+	Mmap gstore.OpenMode
+}
+
+// Load loads a graph from path with default options, auto-detecting
+// the format by magic: gstore CSR (opened zero-copy via mmap when
+// possible), FWG1 binary, or edge-list text.
 func Load(path string, opts EdgeListOptions) (*graph.Graph, error) {
+	return LoadWith(path, LoadOptions{EdgeList: opts})
+}
+
+// LoadWith is Load with explicit validation and mmap policy.
+func LoadWith(path string, opts LoadOptions) (*graph.Graph, error) {
 	rc, err := openReader(path)
 	if err != nil {
 		return nil, err
 	}
-	defer rc.Close()
 	br := bufio.NewReaderSize(rc, 1<<20)
-	head, err := br.Peek(4)
-	if err == nil && string(head) == binaryMagic {
-		return ReadBinary(br)
+	head, _ := br.Peek(8)
+	if gstore.IsMagic(head) {
+		gopts := gstore.OpenOptions{Mode: opts.Mmap, Validate: opts.Validate == ValidateOn}
+		if strings.HasSuffix(path, ".gz") {
+			defer rc.Close()
+			return gstore.Read(br, gopts)
+		}
+		// Reopen through the zero-copy path: the mmap needs the file,
+		// not this buffered stream.
+		rc.Close()
+		return gstore.Open(path, gopts)
 	}
-	return ReadEdgeList(br, opts)
+	defer rc.Close()
+	if len(head) >= 4 && string(head[:4]) == binaryMagic {
+		return readBinary(br, opts.Validate != ValidateOff)
+	}
+	g, err := ReadEdgeList(br, opts.EdgeList)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Validate == ValidateOn {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// SaveCSR writes g in the gstore mmap-able CSR format. Plain paths are
+// written atomically (temp file + rename); ".gz" paths are gzip
+// streams, which Load decodes buffered instead of mmap'ing.
+func SaveCSR(path string, g *graph.Graph) error {
+	if !strings.HasSuffix(path, ".gz") {
+		return gstore.Save(path, g)
+	}
+	wc, err := openWriter(path)
+	if err != nil {
+		return err
+	}
+	if err := gstore.Write(wc, g); err != nil {
+		wc.Close()
+		return err
+	}
+	return wc.Close()
+}
+
+// OpenCached is the graph-cache protocol the CLIs' -graph-cache flag
+// speaks: if cache exists it is opened zero-copy (mmap) and build is
+// never called; on a miss the graph is built, saved to cache
+// atomically, and reopened through the cache so the caller gets the
+// file-backed arrays it will get on every subsequent start. A corrupt
+// cache is an error, not a silent rebuild — delete the file to force a
+// rebuild.
+func OpenCached(cache string, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	g, err := gstore.Open(cache, gstore.OpenOptions{})
+	if err == nil {
+		return g, nil
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("gio: graph cache %s: %w", cache, err)
+	}
+	built, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if err := gstore.Save(cache, built); err != nil {
+		built.Close()
+		return nil, fmt.Errorf("gio: writing graph cache %s: %w", cache, err)
+	}
+	// Release the built graph's storage (a no-op for heap-backed
+	// graphs, an munmap if build itself loaded a file): the caller
+	// gets the cache-backed arrays instead.
+	if err := built.Close(); err != nil {
+		return nil, fmt.Errorf("gio: releasing built graph: %w", err)
+	}
+	g, err = gstore.Open(cache, gstore.OpenOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("gio: reopening graph cache %s: %w", cache, err)
+	}
+	return g, nil
 }

@@ -12,6 +12,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 )
@@ -26,7 +27,8 @@ type Edge struct {
 }
 
 // Graph is an immutable directed graph stored as CSR in both
-// directions. Construct one with a Builder or the gen/gio packages.
+// directions. Construct one with a Builder, the gen/gio packages, or
+// FromCSR for pre-built (possibly file-backed) arrays.
 type Graph struct {
 	n int
 
@@ -37,6 +39,11 @@ type Graph struct {
 	// In-adjacency: predecessors of v are inAdj[inOff[v]:inOff[v+1]].
 	inOff []int64
 	inAdj []VertexID
+
+	// backing owns the memory the arrays alias when it is not the Go
+	// heap (an mmap'd gstore file); nil for heap-backed graphs. See
+	// storage.go.
+	backing io.Closer
 }
 
 // NumVertices returns the number of vertices.

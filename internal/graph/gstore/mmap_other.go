@@ -1,0 +1,16 @@
+//go:build !unix
+
+package gstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported: no zero-copy open on this platform; Open falls back
+// to the buffered read under ModeAuto and fails under ModeMmap.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package gstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has the zero-copy open
+// path.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The returned release
+// function unmaps; the caller may close f immediately (the mapping
+// keeps the file pages alive).
+func mmapFile(f *os.File, size int) (data []byte, release func() error, err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

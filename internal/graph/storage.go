@@ -1,0 +1,112 @@
+package graph
+
+// This file is the storage seam of the graph package: a Graph's four
+// CSR arrays live behind it, today either heap-allocated (the Builder
+// and generators) or aliased into an mmap'd gstore file (see
+// internal/graph/gstore). The public Graph API is identical either
+// way; only construction and release differ.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// CSR is the raw compressed-sparse-row representation backing a Graph,
+// in both directions. OutOff/InOff have NumVertices+1 entries;
+// successors of v are OutAdj[OutOff[v]:OutOff[v+1]] and predecessors
+// are InAdj[InOff[v]:InOff[v+1]].
+type CSR struct {
+	NumVertices int
+	OutOff      []int64
+	OutAdj      []VertexID
+	InOff       []int64
+	InAdj       []VertexID
+}
+
+// NumEdges returns the directed edge count the arrays encode.
+func (c CSR) NumEdges() int64 { return int64(len(c.OutAdj)) }
+
+// checkOffsets verifies the structural invariants FromCSR relies on to
+// slice adjacency safely: correct lengths, offsets starting at zero,
+// monotone, and totals matching the adjacency lengths. It is O(n) and
+// deliberately does not look at the adjacency values themselves — that
+// O(E) pass is Graph.Validate, opt-in at load time.
+func (c CSR) checkOffsets() error {
+	n := c.NumVertices
+	if n < 0 {
+		return errors.New("graph: negative vertex count")
+	}
+	if len(c.OutOff) != n+1 || len(c.InOff) != n+1 {
+		return fmt.Errorf("graph: offset lengths %d/%d for n=%d", len(c.OutOff), len(c.InOff), n)
+	}
+	if c.OutOff[0] != 0 || c.InOff[0] != 0 {
+		return errors.New("graph: offsets must start at 0")
+	}
+	for v := 0; v < n; v++ {
+		if c.OutOff[v+1] < c.OutOff[v] || c.InOff[v+1] < c.InOff[v] {
+			return fmt.Errorf("graph: non-monotone offsets at vertex %d", v)
+		}
+	}
+	if c.OutOff[n] != int64(len(c.OutAdj)) {
+		return fmt.Errorf("graph: out offsets total %d but %d out-neighbors", c.OutOff[n], len(c.OutAdj))
+	}
+	if c.InOff[n] != int64(len(c.InAdj)) {
+		return fmt.Errorf("graph: in offsets total %d but %d in-neighbors", c.InOff[n], len(c.InAdj))
+	}
+	if len(c.OutAdj) != len(c.InAdj) {
+		return errors.New("graph: out/in edge count mismatch")
+	}
+	return nil
+}
+
+// FromCSR wraps pre-built CSR arrays in a Graph without copying. The
+// arrays may alias external storage (an mmap'd file); backing, when
+// non-nil, owns that memory and is released by the graph's Close.
+//
+// The O(n) offset invariants are always checked so neighbor slicing
+// can never panic; adjacency contents are NOT checked here. Callers
+// loading from untrusted bytes should follow up with Graph.Validate —
+// checksummed formats may skip it.
+func FromCSR(c CSR, backing io.Closer) (*Graph, error) {
+	if err := c.checkOffsets(); err != nil {
+		if backing != nil {
+			backing.Close()
+		}
+		return nil, err
+	}
+	return &Graph{
+		n:       c.NumVertices,
+		outOff:  c.OutOff,
+		outAdj:  c.OutAdj,
+		inOff:   c.InOff,
+		inAdj:   c.InAdj,
+		backing: backing,
+	}, nil
+}
+
+// CSRView returns the graph's raw arrays. The slices alias internal
+// storage and must not be modified; they are valid until Close.
+func (g *Graph) CSRView() CSR {
+	return CSR{
+		NumVertices: g.n,
+		OutOff:      g.outOff,
+		OutAdj:      g.outAdj,
+		InOff:       g.inOff,
+		InAdj:       g.inAdj,
+	}
+}
+
+// Close releases the graph's backing storage — the munmap for
+// file-backed graphs. Heap-backed graphs are a no-op (the garbage
+// collector owns their arrays). Using the graph, or any slice obtained
+// from it, after Close is invalid for file-backed graphs. Close is
+// idempotent.
+func (g *Graph) Close() error {
+	b := g.backing
+	if b == nil {
+		return nil
+	}
+	g.backing = nil
+	return b.Close()
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	c := g.CSRView()
+	g2, err := FromCSR(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.CSRView(), g2.CSRView()) {
+		t.Fatal("FromCSR(CSRView()) is not the identity")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromCSRRejectsBadOffsets(t *testing.T) {
+	base := FromEdges(3, []Edge{{0, 1}, {1, 2}, {2, 0}}).CSRView()
+	cases := []struct {
+		name   string
+		mutate func(c *CSR)
+	}{
+		{"negative n", func(c *CSR) { c.NumVertices = -1 }},
+		{"short outOff", func(c *CSR) { c.OutOff = c.OutOff[:2] }},
+		{"short inOff", func(c *CSR) { c.InOff = c.InOff[:1] }},
+		{"nonzero start", func(c *CSR) { c.OutOff = append([]int64(nil), c.OutOff...); c.OutOff[0] = 1 }},
+		{"non-monotone", func(c *CSR) { c.OutOff = append([]int64(nil), c.OutOff...); c.OutOff[1] = 99 }},
+		{"total mismatch", func(c *CSR) { c.OutAdj = c.OutAdj[:1] }},
+		{"in total mismatch", func(c *CSR) { c.InAdj = append(c.InAdj, 0); c.OutAdj = append(c.OutAdj, 0) }},
+		{"count mismatch", func(c *CSR) {
+			c.InAdj = append([]VertexID(nil), c.InAdj...)
+			c.InAdj = append(c.InAdj, 0)
+			c.InOff = append([]int64(nil), c.InOff...)
+			c.InOff[3] = 4
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			tc.mutate(&c)
+			if _, err := FromCSR(c, nil); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+// closeCounter records Close calls, standing in for an munmap.
+type closeCounter struct{ n int }
+
+func (c *closeCounter) Close() error { c.n++; return nil }
+
+func TestCloseReleasesBackingOnce(t *testing.T) {
+	c := FromEdges(2, []Edge{{0, 1}, {1, 0}}).CSRView()
+	cc := &closeCounter{}
+	g, err := FromCSR(c, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cc.n != 1 {
+		t.Fatalf("backing closed %d times, want 1", cc.n)
+	}
+	// Heap-backed graphs: Close is a no-op.
+	if err := FromEdges(2, []Edge{{0, 1}, {1, 0}}).Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromCSRErrorReleasesBacking(t *testing.T) {
+	cc := &closeCounter{}
+	if _, err := FromCSR(CSR{NumVertices: -1}, cc); err == nil {
+		t.Fatal("want error")
+	}
+	if cc.n != 1 {
+		t.Fatalf("backing closed %d times on constructor failure, want 1", cc.n)
+	}
+}
+
+func TestFromCSRErrClose(t *testing.T) {
+	c := FromEdges(2, []Edge{{0, 1}, {1, 0}}).CSRView()
+	wantErr := errors.New("munmap failed")
+	g, err := FromCSR(c, closeFunc(func() error { return wantErr }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close() = %v, want %v", err, wantErr)
+	}
+}
+
+type closeFunc func() error
+
+func (f closeFunc) Close() error { return f() }
+
+// csrEqual compares array contents (nil and empty are the same).
+func csrEqual(a, b CSR) bool {
+	if a.NumVertices != b.NumVertices ||
+		len(a.OutOff) != len(b.OutOff) || len(a.InOff) != len(b.InOff) ||
+		len(a.OutAdj) != len(b.OutAdj) || len(a.InAdj) != len(b.InAdj) {
+		return false
+	}
+	for i := range a.OutOff {
+		if a.OutOff[i] != b.OutOff[i] || a.InOff[i] != b.InOff[i] {
+			return false
+		}
+	}
+	for i := range a.OutAdj {
+		if a.OutAdj[i] != b.OutAdj[i] || a.InAdj[i] != b.InAdj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// transposeReference is the pre-refactor implementation: materialize
+// the reversed edge list and rebuild by counting sort. The direct CSR
+// transpose must match it array-for-array, not just as a multiset.
+func transposeReference(g *Graph) *Graph {
+	edges := make([]Edge, 0, g.NumEdges())
+	g.Edges(func(e Edge) bool {
+		edges = append(edges, Edge{Src: e.Dst, Dst: e.Src})
+		return true
+	})
+	return fromEdges(g.n, edges)
+}
+
+func TestTransposeMatchesEdgeRebuild(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 40; trial++ {
+		n := r.Intn(50) + 1
+		m := r.Intn(400)
+		es := make([]Edge, m)
+		for i := range es {
+			es[i] = Edge{VertexID(r.Intn(n)), VertexID(r.Intn(n))}
+		}
+		g := FromEdges(n, es)
+		got, want := g.Transpose(), transposeReference(g)
+		if !csrEqual(got.CSRView(), want.CSRView()) {
+			t.Fatalf("trial %d: CSR transpose diverges from edge-rebuild transpose", trial)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestTransposeIndependentStorage(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 1}, {1, 0}})
+	tr := g.Transpose()
+	// The transpose must own its arrays: closing a (hypothetically
+	// file-backed) source must not invalidate it, so no aliasing.
+	if &g.inAdj[0] == &tr.outAdj[0] {
+		t.Fatal("transpose aliases source storage")
+	}
+	if tr.backing != nil {
+		t.Fatal("transpose inherited backing")
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,11 +36,17 @@ type Refresher struct {
 	build    BuildFunc
 	interval time.Duration
 
+	// persistDir, when set via PersistTo, receives every published
+	// snapshot; persistErr observes save failures.
+	persistDir string
+	persistErr func(error)
+
 	mu         sync.Mutex // serializes builds; guards generation
 	generation uint64
 
-	refreshes atomic.Uint64
-	errs      atomic.Uint64
+	refreshes   atomic.Uint64
+	errs        atomic.Uint64
+	persistErrs atomic.Uint64
 }
 
 // NewRefresher wires a refresher to a store. interval is the Run
@@ -47,6 +54,33 @@ type Refresher struct {
 // (on-demand only via Refresh).
 func NewRefresher(store *Store, build BuildFunc, interval time.Duration) *Refresher {
 	return &Refresher{store: store, build: build, interval: interval}
+}
+
+// PersistTo makes the refresher save every snapshot it publishes to
+// SnapshotPath(dir), atomically, so the service can warm-start from
+// the latest estimate after a restart. Persist failures never block
+// serving: they are counted (PersistErrors) and reported through
+// onErr (nil = ignore). Call before the refresher is in use.
+func (r *Refresher) PersistTo(dir string, onErr func(error)) {
+	r.persistDir = dir
+	r.persistErr = onErr
+}
+
+// PersistErrors returns how many snapshot saves failed.
+func (r *Refresher) PersistErrors() uint64 { return r.persistErrs.Load() }
+
+// SetGeneration fast-forwards the build-generation counter (never
+// backwards). The warm-start path syncs it to the restored snapshot's
+// epoch — the counter equals the epoch of the latest published
+// snapshot in a single life — so post-restart refreshes continue the
+// deterministic seed sequence (seed = base + generation) instead of
+// repeating the pre-restart seeds.
+func (r *Refresher) SetGeneration(gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gen > r.generation {
+		r.generation = gen
+	}
 }
 
 // Refresh builds one snapshot and publishes it, returning the published
@@ -61,7 +95,16 @@ func (r *Refresher) Refresh() (*Snapshot, error) {
 	}
 	r.generation++
 	r.refreshes.Add(1)
-	return r.store.Publish(snap), nil
+	pub := r.store.Publish(snap)
+	if r.persistDir != "" {
+		if err := SaveSnapshot(SnapshotPath(r.persistDir), pub); err != nil {
+			r.persistErrs.Add(1)
+			if r.persistErr != nil {
+				r.persistErr(fmt.Errorf("serve: persisting snapshot epoch %d: %w", pub.Epoch, err))
+			}
+		}
+	}
+	return pub, nil
 }
 
 // Refreshes returns how many snapshots this refresher has published.
@@ -70,19 +113,19 @@ func (r *Refresher) Refreshes() uint64 { return r.refreshes.Load() }
 // Errors returns how many builds failed.
 func (r *Refresher) Errors() uint64 { return r.errs.Load() }
 
-// Run publishes an initial snapshot if the store is empty, then
-// republishes every interval until ctx is cancelled. Build errors are
-// counted and reported through onError (nil means ignore); the loop
-// keeps going so a transient failure doesn't stop serving the previous
-// snapshot. With a non-positive interval Run returns after the initial
-// publish.
+// Run publishes an initial snapshot if the store is empty or holds
+// only a warm-started (disk-restored) snapshot, then republishes every
+// interval until ctx is cancelled. Build errors are counted and
+// reported through onError (nil means ignore); the loop keeps going so
+// a transient failure doesn't stop serving the previous snapshot. With
+// a non-positive interval Run returns after the initial publish.
 func (r *Refresher) Run(ctx context.Context, onError func(error)) error {
 	report := func(err error) {
 		if err != nil && onError != nil {
 			onError(err)
 		}
 	}
-	if r.store.Current() == nil {
+	if cur := r.store.Current(); cur == nil || cur.WarmStart {
 		if _, err := r.Refresh(); err != nil {
 			report(err)
 			if r.store.Current() == nil && r.interval <= 0 {

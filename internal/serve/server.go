@@ -104,6 +104,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Snapshot returns the snapshot the server is currently answering
+// from (nil before the first publish). Callers use it to see whether
+// the service warm-started from disk and which epoch is live.
+func (s *Server) Snapshot() *Snapshot { return s.store.Current() }
+
 // Queries returns the total query count across the /v1 endpoints.
 func (s *Server) Queries() uint64 { return s.queries.Load() }
 

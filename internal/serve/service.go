@@ -2,6 +2,10 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
 	"time"
 
 	"repro/internal/graph"
@@ -15,20 +19,31 @@ type ServiceConfig struct {
 	// the initial snapshot forever.
 	RefreshInterval time.Duration
 	// OnRefreshError observes background build failures (nil = ignore;
-	// the previous snapshot keeps serving either way).
+	// the previous snapshot keeps serving either way). It also
+	// receives warm-start and snapshot-persistence problems, which are
+	// likewise non-fatal.
 	OnRefreshError func(error)
+	// SnapshotDir enables snapshot persistence: every published
+	// snapshot is saved there (atomically), and NewService warm-starts
+	// from the last persisted snapshot when one matches the graph —
+	// queries are answered in milliseconds with the persisted epoch's
+	// provenance while the first fresh build runs in the background.
+	// Empty disables persistence.
+	SnapshotDir string
 }
 
-// ListenAndServe builds an initial snapshot of g, starts the background
-// refresher (if an interval is set), and serves the query API on addr
-// until ctx is cancelled, shutting down gracefully. The initial build
-// is synchronous so the service is never up without an answer.
+// ListenAndServe builds or restores an initial snapshot of g, starts
+// the background refresher when an interval is set or the snapshot was
+// warm-started from disk (so a restored estimate is re-derived
+// promptly), and serves the query API on addr until ctx is cancelled,
+// shutting down gracefully. The service is never up without an answer.
 func ListenAndServe(ctx context.Context, addr string, g *graph.Graph, cfg ServiceConfig) error {
 	srv, refresher, err := NewService(g, cfg)
 	if err != nil {
 		return err
 	}
-	if cfg.RefreshInterval > 0 {
+	cur := srv.Snapshot()
+	if cfg.RefreshInterval > 0 || (cur != nil && cur.WarmStart) {
 		rctx, cancel := context.WithCancel(ctx)
 		defer cancel()
 		go refresher.Run(rctx, cfg.OnRefreshError)
@@ -36,14 +51,42 @@ func ListenAndServe(ctx context.Context, addr string, g *graph.Graph, cfg Servic
 	return srv.Serve(ctx, addr)
 }
 
-// NewService assembles the store/refresher/server stack and publishes
-// the initial snapshot synchronously. Callers that want background
-// refresh run refresher.Run themselves (ListenAndServe does).
+// NewService assembles the store/refresher/server stack. With a
+// SnapshotDir holding a snapshot that matches g, the service
+// warm-starts: the persisted estimate is restored (keeping its epoch
+// and provenance) instead of computing one, which takes milliseconds
+// instead of a full engine run — callers then run refresher.Run to
+// re-derive a fresh estimate in the background (ListenAndServe does).
+// Otherwise the initial snapshot is built synchronously so the service
+// is never up without an answer. A corrupt or mismatched persisted
+// snapshot is reported through OnRefreshError and falls back to the
+// cold build; it never blocks startup.
 func NewService(g *graph.Graph, cfg ServiceConfig) (*Server, *Refresher, error) {
 	store := NewStore()
 	refresher := NewRefresher(store, EngineBuilder(g, cfg.Build), cfg.RefreshInterval)
-	if _, err := refresher.Refresh(); err != nil {
-		return nil, nil, err
+	if cfg.SnapshotDir != "" {
+		// A snapshot dir that cannot exist is a configuration error:
+		// failing loudly here beats a service that looks healthy but
+		// silently never persists (and so never warm-starts).
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("serve: snapshot dir: %w", err)
+		}
+		refresher.PersistTo(cfg.SnapshotDir, cfg.OnRefreshError)
+		snap, err := LoadSnapshot(SnapshotPath(cfg.SnapshotDir), g)
+		switch {
+		case err == nil:
+			store.Restore(snap)
+			refresher.SetGeneration(snap.Epoch)
+		case !errors.Is(err, fs.ErrNotExist):
+			if cfg.OnRefreshError != nil {
+				cfg.OnRefreshError(fmt.Errorf("serve: warm start: %w", err))
+			}
+		}
+	}
+	if store.Current() == nil {
+		if _, err := refresher.Refresh(); err != nil {
+			return nil, nil, err
+		}
 	}
 	srv := NewServer(store, ServerOptions{Compare: cfg.Build, Refresher: refresher})
 	return srv, refresher, nil

@@ -142,6 +142,11 @@ type Snapshot struct {
 	Top []topk.Entry
 	// MaxK is the index size.
 	MaxK int
+	// WarmStart marks a snapshot restored from disk rather than
+	// freshly computed: it serves immediately (with its persisted
+	// epoch and provenance) while the Refresher treats the store as
+	// due for a fresh build. Never persisted; set by the loader.
+	WarmStart bool
 }
 
 // TopK returns the k highest-ranked vertices in descending order,

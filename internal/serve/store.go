@@ -32,6 +32,24 @@ func (st *Store) Publish(s *Snapshot) *Snapshot {
 	return s
 }
 
+// Restore publishes a previously persisted snapshot, preserving the
+// epoch it carried when it was saved (so warm-start responses are
+// honest about which estimate they serve) and fast-forwarding the
+// store's epoch counter past it, so the next fresh Publish gets a
+// strictly newer epoch. A zero-epoch snapshot (persisted before its
+// first publish) is assigned the next epoch like a normal publish.
+func (st *Store) Restore(s *Snapshot) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s.Epoch == 0 {
+		s.Epoch = st.epoch.Add(1)
+	} else if cur := st.epoch.Load(); s.Epoch > cur {
+		st.epoch.Store(s.Epoch)
+	}
+	st.cur.Store(s)
+	return s
+}
+
 // Current returns the latest published snapshot, or nil if none has
 // been published yet. The returned snapshot is immutable; callers keep
 // a consistent view for as long as they hold the pointer, even across

@@ -50,6 +50,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/graph/gio"
+	"repro/internal/graph/gstore"
 	"repro/internal/loadgen"
 	"repro/internal/montecarlo"
 	"repro/internal/pagerank"
@@ -112,10 +113,12 @@ func ErdosRenyiGraph(n int, m int64, seed uint64) (*Graph, error) {
 }
 
 // LoadGraph reads a graph from disk, auto-detecting the format:
-// the package's binary format or SNAP-style edge-list text ("src dst"
+// the mmap-able gstore CSR format (opened zero-copy), the package's
+// binary edge-list format, or SNAP-style edge-list text ("src dst"
 // per line, '#' comments). Files ending in .gz are decompressed.
-// Dangling vertices are repaired with self-loops so the result is
-// always FrogWild-ready.
+// For the edge-list formats, dangling vertices are repaired with
+// self-loops so the result is always FrogWild-ready; gstore files
+// reload exactly the graph that was saved.
 func LoadGraph(path string) (*Graph, error) {
 	return gio.Load(path, gio.EdgeListOptions{Dangling: graph.DanglingSelfLoop})
 }
@@ -127,6 +130,29 @@ func SaveGraph(path string, g *Graph) error { return gio.SaveEdgeList(path, g) }
 // SaveGraphBinary writes a graph in the compact binary format
 // (gzipped when the path ends in .gz); LoadGraph reads it back.
 func SaveGraphBinary(path string, g *Graph) error { return gio.SaveBinary(path, g) }
+
+// SaveGraphCSR writes a graph in the gstore mmap-able CSR format:
+// checksummed 8-aligned sections that OpenGraphCSR and LoadGraph map
+// straight into memory, making reload time independent of graph size.
+// Plain paths are written atomically; .gz paths gzip the same bytes
+// (loaded buffered instead of mmap'd).
+func SaveGraphCSR(path string, g *Graph) error { return gio.SaveCSR(path, g) }
+
+// OpenGraphCSR opens a gstore CSR file zero-copy: the adjacency
+// arrays alias the mmap'd file pages (with a buffered-read fallback
+// where mmap is unavailable), section checksums are verified, and
+// Close on the returned graph releases the mapping.
+func OpenGraphCSR(path string) (*Graph, error) {
+	return gstore.Open(path, gstore.OpenOptions{})
+}
+
+// CachedGraph is the -graph-cache protocol: if cachePath exists it is
+// opened zero-copy and build never runs; on a miss the graph is
+// built, saved to cachePath atomically, and reopened through the
+// cache. A corrupt cache is an error — delete the file to rebuild.
+func CachedGraph(cachePath string, build func() (*Graph, error)) (*Graph, error) {
+	return gio.OpenCached(cachePath, build)
+}
 
 // PageRankOptions configures the exact solver. Its Workers field
 // shards the power-iteration inner loop across cores (0 = GOMAXPROCS,
@@ -407,6 +433,24 @@ const (
 func NewSnapshot(g *Graph, cfg SnapshotConfig) (*Snapshot, error) {
 	return serve.Build(g, cfg)
 }
+
+// SaveSnapshot persists a serving snapshot (ranks, top index, engine/
+// seed/epoch provenance, graph stats) to path atomically in the
+// checksummed binary snapshot format. Pair with ServeConfig's
+// SnapshotDir to let a restarted server answer queries in
+// milliseconds from the last persisted estimate.
+func SaveSnapshot(path string, s *Snapshot) error { return serve.SaveSnapshot(path, s) }
+
+// LoadSnapshot reads a persisted snapshot and attaches it to g, which
+// must be the graph the snapshot was computed on (vertex and edge
+// counts are checked). The result carries the persisted epoch's
+// provenance and is flagged WarmStart so a Refresher re-derives a
+// fresh estimate in the background.
+func LoadSnapshot(path string, g *Graph) (*Snapshot, error) { return serve.LoadSnapshot(path, g) }
+
+// SnapshotFilePath returns the file inside dir where the serving
+// layer persists (and warm-starts from) the latest snapshot.
+func SnapshotFilePath(dir string) string { return serve.SnapshotPath(dir) }
 
 // Serve computes an initial snapshot of g, then serves the top-k
 // PageRank query API on addr until ctx is cancelled (graceful
