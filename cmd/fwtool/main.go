@@ -1,0 +1,178 @@
+// Command fwtool inspects any file written in a registered
+// checksummed-section format (internal/secfile) — today the gstore CSR
+// graph format ("FWGSTOR1") and the serving layer's snapshot format
+// ("FWSNAP01") — through the shared codec alone: no format-specific
+// decode code runs, which is the point. A format that registers its
+// schema is inspectable for free.
+//
+// Usage:
+//
+//	fwtool info   <file>   dump the header, scalar fields, and section table
+//	fwtool verify <file>   verify every section's CRC-64 checksum
+//	fwtool formats         list the registered formats
+//
+// Files ending in .gz are decompressed transparently (read buffered
+// instead of mmap'd). Exit codes: 0 on success, 1 when the file is
+// corrupt or fails verification, 2 on usage errors.
+package main
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/secfile"
+
+	// Formats register their schemas from init; importing them is what
+	// populates the registry fwtool dispatches on.
+	_ "repro/internal/graph/gstore"
+	_ "repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 && args[0] == "formats" {
+		for _, info := range secfile.Registered() {
+			fmt.Fprintf(stdout, "%s  v%d  %-22s sections: %s\n",
+				info.Schema.Magic, info.Schema.Version, info.Name, strings.Join(info.SectionNames, ", "))
+		}
+		return 0
+	}
+	if len(args) != 2 || (args[0] != "info" && args[0] != "verify") {
+		fmt.Fprintln(stderr, "usage: fwtool info|verify <file>  (or: fwtool formats)")
+		return 2
+	}
+	cmd, path := args[0], args[1]
+
+	info, f, err := open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "fwtool: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	switch cmd {
+	case "info":
+		printInfo(stdout, info, f)
+		return 0
+	case "verify":
+		return verify(stdout, info, f)
+	}
+	return 2
+}
+
+// open sniffs path's magic against the registry and loads the file
+// through the matching schema with checksum verification deferred
+// (verify reports per-section status; info does not need it).
+func open(path string) (secfile.Info, *secfile.File, error) {
+	head, err := readHead(path)
+	if err != nil {
+		return secfile.Info{}, nil, err
+	}
+	info, ok := secfile.Lookup(head)
+	if !ok {
+		return secfile.Info{}, nil, fmt.Errorf("%s: magic %q matches no registered format (try 'fwtool formats')", path, printable(head))
+	}
+	opts := secfile.OpenOptions{NoVerify: true}
+	if strings.HasSuffix(path, ".gz") {
+		f, err := os.Open(path)
+		if err != nil {
+			return secfile.Info{}, nil, err
+		}
+		defer f.Close()
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return secfile.Info{}, nil, err
+		}
+		defer zr.Close()
+		sf, err := info.Schema.Read(zr, opts)
+		return info, sf, err
+	}
+	sf, err := info.Schema.Open(path, opts)
+	return info, sf, err
+}
+
+// readHead returns the file's first bytes (through gzip for .gz
+// paths) for magic sniffing.
+func readHead(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		r = zr
+	}
+	head := make([]byte, 8)
+	n, err := io.ReadFull(r, head)
+	if err != nil && n == 0 {
+		return nil, err
+	}
+	return head[:n], nil
+}
+
+func printable(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c < 0x20 || c > 0x7e {
+			c = '.'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+func printInfo(w io.Writer, info secfile.Info, f *secfile.File) {
+	s := info.Schema
+	endian := "little-endian"
+	if f.Header()[12] == secfile.BigEndianTag {
+		endian = "big-endian"
+	}
+	fmt.Fprintf(w, "format:   %s (%s, version %d)\n", info.Name, s.Magic, s.Version)
+	fmt.Fprintf(w, "sections: %s byte order, header %d bytes, file %d bytes\n",
+		endian, s.HeaderSize, len(f.Data))
+	if info.Fields != nil {
+		for _, field := range info.Fields(f.Header()) {
+			fmt.Fprintf(w, "  %-14s %s\n", field.Name, field.Value)
+		}
+	}
+	fmt.Fprintf(w, "%-14s %10s %12s  %s\n", "section", "offset", "length", "crc64")
+	for i, sec := range f.Secs {
+		fmt.Fprintf(w, "%-14s %10d %12d  %016x\n", sectionName(info, i), sec.Off, sec.Len, sec.CRC)
+	}
+}
+
+func verify(w io.Writer, info secfile.Info, f *secfile.File) int {
+	bad := 0
+	for i, sec := range f.Secs {
+		status := "OK"
+		if secfile.Checksum(f.Section(i)) != sec.CRC {
+			status, bad = "FAIL", bad+1
+		}
+		fmt.Fprintf(w, "%-14s %12d bytes  %s\n", sectionName(info, i), sec.Len, status)
+	}
+	if bad > 0 {
+		fmt.Fprintf(w, "%d of %d sections corrupt\n", bad, len(f.Secs))
+		return 1
+	}
+	fmt.Fprintf(w, "all %d sections verify\n", len(f.Secs))
+	return 0
+}
+
+func sectionName(info secfile.Info, i int) string {
+	if i < len(info.SectionNames) {
+		return info.SectionNames[i]
+	}
+	return fmt.Sprintf("section%d", i)
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gstore"
+	"repro/internal/serve"
+	"repro/internal/topk"
+)
+
+func writeGraphFile(t *testing.T, dir string) string {
+	t.Helper()
+	g := graph.FromEdges(8, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 4}})
+	defer g.Close()
+	path := filepath.Join(dir, "g.csr")
+	if err := gstore.Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeSnapshotFile(t *testing.T, dir string) string {
+	t.Helper()
+	n := 16
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(i+2)
+	}
+	s := &serve.Snapshot{
+		Ranks:   ranks,
+		Top:     topk.Top(ranks, 5),
+		MaxK:    5,
+		Epoch:   3,
+		Seed:    7,
+		Engine:  "exact",
+		BuiltAt: time.Unix(1700000000, 0),
+		Stats:   graph.Stats{NumVertices: n, NumEdges: 42},
+	}
+	path := filepath.Join(dir, "snap.fwsnap")
+	if err := serve.SaveSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFormats(t *testing.T) {
+	code, out, _ := runTool(t, "formats")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"FWGSTOR1", "FWSNAP01"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formats output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfoAndVerifyGraph(t *testing.T) {
+	path := writeGraphFile(t, t.TempDir())
+
+	code, out, errb := runTool(t, "info", path)
+	if code != 0 {
+		t.Fatalf("info exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"FWGSTOR1", "vertices", "8", "outAdj", "crc64"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, errb = runTool(t, "verify", path)
+	if code != 0 {
+		t.Fatalf("verify exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "all 4 sections verify") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+}
+
+func TestInfoAndVerifySnapshot(t *testing.T) {
+	path := writeSnapshotFile(t, t.TempDir())
+
+	code, out, errb := runTool(t, "info", path)
+	if code != 0 {
+		t.Fatalf("info exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"FWSNAP01", "engine", "exact", "ranks", "topScores"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, errb = runTool(t, "verify", path)
+	if code != 0 {
+		t.Fatalf("verify exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "all 3 sections verify") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	path := writeGraphFile(t, t.TempDir())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, _ := runTool(t, "verify", path)
+	if code != 1 {
+		t.Fatalf("verify exit %d on corrupt file, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "sections corrupt") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+
+	// info still works on a corrupt-payload file: the header and table
+	// are intact, and info does not checksum.
+	code, _, errb := runTool(t, "info", path)
+	if code != 0 {
+		t.Fatalf("info exit %d: %s", code, errb)
+	}
+}
+
+func TestGzipInput(t *testing.T) {
+	dir := t.TempDir()
+	plain := writeGraphFile(t, dir)
+	data, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := filepath.Join(dir, "g.csr.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(data)
+	zw.Close()
+	if err := os.WriteFile(gz, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errb := runTool(t, "verify", gz)
+	if code != 0 {
+		t.Fatalf("verify exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "all 4 sections verify") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+}
+
+func TestUnknownMagicAndUsage(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(junk, []byte("NOTAFMT0 trailing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runTool(t, "info", junk)
+	if code != 1 {
+		t.Fatalf("exit %d on unknown magic, want 1", code)
+	}
+	if !strings.Contains(errb, "no registered format") {
+		t.Fatalf("stderr: %s", errb)
+	}
+
+	if code, _, _ := runTool(t); code != 2 {
+		t.Fatal("no-args should be a usage error")
+	}
+	if code, _, _ := runTool(t, "frobnicate", junk); code != 2 {
+		t.Fatal("bad verb should be a usage error")
+	}
+}

@@ -200,18 +200,11 @@ func buildInProcess(path, cache, snapDir, genType string, n int, engine string, 
 		}
 		return nil, fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
 	}
-	var g *repro.Graph
-	if cache != "" {
-		g, err = repro.CachedGraph(cache, build)
-		// A path-keyed cache hit can silently mask changed generation
-		// flags; catch the cheap-to-check mismatch.
-		if err == nil && path == "" && g.NumVertices() != n {
-			err = fmt.Errorf("graph cache %s holds %d vertices but -n is %d; delete the cache to regenerate",
-				cache, g.NumVertices(), n)
-		}
-	} else {
-		g, err = build()
+	genN := 0
+	if path == "" {
+		genN = n
 	}
+	g, err := repro.CachedGraphChecked(cache, genN, build)
 	if err != nil {
 		return nil, 0, err
 	}

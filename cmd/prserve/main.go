@@ -92,18 +92,11 @@ func main() {
 		return nil, fmt.Errorf("provide -graph FILE, -gen twitterlike|livejournallike, or an existing -graph-cache")
 	}
 	loadStart := time.Now()
-	var g *repro.Graph
-	if *cache != "" {
-		g, err = repro.CachedGraph(*cache, buildGraph)
-		// The cache key is the file path, so a hit can silently mask
-		// changed generation flags; catch the cheap-to-check mismatch.
-		if err == nil && *path == "" && *genType != "" && g.NumVertices() != *n {
-			err = fmt.Errorf("graph cache %s holds %d vertices but -n is %d; delete the cache to regenerate",
-				*cache, g.NumVertices(), *n)
-		}
-	} else {
-		g, err = buildGraph()
+	genN := 0
+	if *path == "" && *genType != "" {
+		genN = *n
 	}
+	g, err := repro.CachedGraphChecked(*cache, genN, buildGraph)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prserve: %v\n", err)
 		os.Exit(1)

@@ -352,7 +352,9 @@ func Load(path string, opts EdgeListOptions) (*graph.Graph, error) {
 	return LoadWith(path, LoadOptions{EdgeList: opts})
 }
 
-// LoadWith is Load with explicit validation and mmap policy.
+// LoadWith is Load with explicit validation and mmap policy. Formats
+// are dispatched through the magic registry (see RegisterFormat);
+// files matching no registered magic parse as edge-list text.
 func LoadWith(path string, opts LoadOptions) (*graph.Graph, error) {
 	rc, err := openReader(path)
 	if err != nil {
@@ -360,21 +362,17 @@ func LoadWith(path string, opts LoadOptions) (*graph.Graph, error) {
 	}
 	br := bufio.NewReaderSize(rc, 1<<20)
 	head, _ := br.Peek(8)
-	if gstore.IsMagic(head) {
-		gopts := gstore.OpenOptions{Mode: opts.Mmap, Validate: opts.Validate == ValidateOn}
-		if strings.HasSuffix(path, ".gz") {
-			defer rc.Close()
-			return gstore.Read(br, gopts)
+	if f, ok := lookupFormat(head); ok {
+		if f.Open != nil && !strings.HasSuffix(path, ".gz") {
+			// Reopen through the format's file path (the mmap needs
+			// the file, not this buffered stream).
+			rc.Close()
+			return f.Open(path, opts)
 		}
-		// Reopen through the zero-copy path: the mmap needs the file,
-		// not this buffered stream.
-		rc.Close()
-		return gstore.Open(path, gopts)
+		defer rc.Close()
+		return f.Read(br, opts)
 	}
 	defer rc.Close()
-	if len(head) >= 4 && string(head[:4]) == binaryMagic {
-		return readBinary(br, opts.Validate != ValidateOff)
-	}
 	g, err := ReadEdgeList(br, opts.EdgeList)
 	if err != nil {
 		return nil, err
@@ -437,6 +435,30 @@ func OpenCached(cache string, build func() (*graph.Graph, error)) (*graph.Graph,
 	g, err = gstore.Open(cache, gstore.OpenOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("gio: reopening graph cache %s: %w", cache, err)
+	}
+	return g, nil
+}
+
+// OpenCachedChecked is the CLIs' full -graph-cache protocol: an empty
+// cache path just builds, otherwise OpenCached runs, and — because the
+// cache key is only the file path — a hit is guarded against silently
+// masking changed generation flags: when the graph comes from a
+// generator (genN > 0) rather than an input file, a cached graph whose
+// vertex count differs from genN is an error telling the user to
+// delete the stale cache.
+func OpenCachedChecked(cache string, genN int, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	if cache == "" {
+		return build()
+	}
+	g, err := OpenCached(cache, build)
+	if err != nil {
+		return nil, err
+	}
+	if genN > 0 && g.NumVertices() != genN {
+		n := g.NumVertices()
+		g.Close()
+		return nil, fmt.Errorf("graph cache %s holds %d vertices but -n is %d; delete the cache to regenerate",
+			cache, n, genN)
 	}
 	return g, nil
 }

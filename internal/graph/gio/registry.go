@@ -1,0 +1,78 @@
+package gio
+
+import (
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gstore"
+)
+
+// A Format is one magic-identified graph file format Load can
+// auto-detect. Formats register themselves (the built-in gstore CSR
+// and FWG1 binary formats below; future formats from their own
+// packages), so adding an on-disk format never means editing Load's
+// dispatch again.
+type Format struct {
+	// Name is the format's human-readable name.
+	Name string
+	// Magic is the leading byte sequence that identifies the format.
+	Magic string
+	// Open loads from a file on disk. Optional: formats that can map
+	// the file (gstore) set it; Load prefers it over Read for plain
+	// (non-gzip) paths.
+	Open func(path string, opts LoadOptions) (*graph.Graph, error)
+	// Read loads from a byte stream (gzip files, pipes) positioned at
+	// the magic. Required.
+	Read func(r io.Reader, opts LoadOptions) (*graph.Graph, error)
+}
+
+// formats is the registry, in registration order; lookup prefers the
+// longest matching magic so a short magic can never shadow a longer
+// one sharing its prefix.
+var formats []Format
+
+// RegisterFormat adds a format to Load's auto-detection.
+func RegisterFormat(f Format) { formats = append(formats, f) }
+
+// lookupFormat finds the registered format whose magic prefixes head.
+func lookupFormat(head []byte) (Format, bool) {
+	best := -1
+	for i, f := range formats {
+		if len(head) >= len(f.Magic) && string(head[:len(f.Magic)]) == f.Magic {
+			if best < 0 || len(f.Magic) > len(formats[best].Magic) {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return Format{}, false
+	}
+	return formats[best], true
+}
+
+func init() {
+	RegisterFormat(Format{
+		Name:  "gstore CSR",
+		Magic: gstore.Magic,
+		Open: func(path string, opts LoadOptions) (*graph.Graph, error) {
+			return gstore.Open(path, gstoreOptions(opts))
+		},
+		Read: func(r io.Reader, opts LoadOptions) (*graph.Graph, error) {
+			return gstore.Read(r, gstoreOptions(opts))
+		},
+	})
+	RegisterFormat(Format{
+		Name:  "FWG1 binary edge list",
+		Magic: binaryMagic,
+		Read: func(r io.Reader, opts LoadOptions) (*graph.Graph, error) {
+			// The FWG1 format has no checksums, so the post-load
+			// validation pass runs unless explicitly disabled.
+			return readBinary(r, opts.Validate != ValidateOff)
+		},
+	})
+}
+
+// gstoreOptions maps Load's policy knobs onto the gstore schema's.
+func gstoreOptions(opts LoadOptions) gstore.OpenOptions {
+	return gstore.OpenOptions{Mode: opts.Mmap, Validate: opts.Validate == ValidateOn}
+}

@@ -12,8 +12,10 @@
 // decodes the same bytes on platforms (or transports, e.g. gzip
 // streams) where mmap is unavailable.
 //
-// File layout (header scalars little-endian, array sections in the
-// writer's native byte order, recorded in the header):
+// The byte-level discipline — header prelude, checksummed section
+// table, atomic save, mmap-vs-buffered open, bounded stream read — is
+// the shared internal/secfile codec; this package is the FWGSTOR1
+// schema over it:
 //
 //	offset  size  field
 //	0       8     magic "FWGSTOR1"
@@ -34,13 +36,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc64"
 	"io"
-	"os"
-	"path/filepath"
-	"unsafe"
 
 	"repro/internal/graph"
+	"repro/internal/secfile"
 )
 
 // Magic identifies a gstore file; it is what gio's auto-detection
@@ -64,43 +63,76 @@ const (
 
 // Errors the loaders return. All corruption detected by decoding wraps
 // ErrFormat; checksum and byte-order failures are further
-// distinguishable.
+// distinguishable. Every failure also wraps the corresponding
+// internal/secfile identity.
 var (
 	ErrFormat   = errors.New("gstore: not a gstore CSR graph file")
 	ErrChecksum = errors.New("gstore: section checksum mismatch")
 	ErrEndian   = errors.New("gstore: file written with foreign byte order")
 )
 
-var crcTable = crc64.MakeTable(crc64.ECMA)
+// schema plugs the FWGSTOR1 layout into the shared codec: everything
+// below the field layout (table pinning, checksums, atomic save, mmap
+// open, bounded stream read) lives in internal/secfile.
+var schema = &secfile.Schema{
+	Magic:        Magic,
+	Version:      Version,
+	HeaderSize:   headerSize,
+	TableOff:     tableOffset,
+	NumSections:  numSections,
+	SectionSizes: sectionSizes,
+	ErrFormat:    ErrFormat,
+	ErrChecksum:  ErrChecksum,
+	ErrEndian:    ErrEndian,
+}
 
-// nativeEndian is the byte-order tag this process writes and accepts:
-// 0 little, 1 big.
-var nativeEndian = func() byte {
-	x := uint16(1)
-	if *(*byte)(unsafe.Pointer(&x)) == 1 {
-		return 0
+func init() {
+	secfile.Register(secfile.Info{
+		Name:         "gstore CSR graph",
+		Schema:       schema,
+		SectionNames: []string{"outOff", "outAdj", "inOff", "inAdj"},
+		Fields: func(hdr []byte) []secfile.Field {
+			n, m := headerCounts(hdr)
+			return []secfile.Field{
+				{Name: "vertices", Value: fmt.Sprint(n)},
+				{Name: "edges", Value: fmt.Sprint(m)},
+			}
+		},
+	})
+}
+
+// headerCounts reads the n/m scalar fields.
+func headerCounts(hdr []byte) (n, m uint64) {
+	return binary.LittleEndian.Uint64(hdr[16:24]), binary.LittleEndian.Uint64(hdr[24:32])
+}
+
+// sectionSizes derives the four sections' byte lengths from the
+// header's vertex and edge counts, bounding both before anything is
+// allocated.
+func sectionSizes(hdr []byte) ([]uint64, error) {
+	n, m := headerCounts(hdr)
+	if n > maxVertices || m > maxEdges {
+		return nil, fmt.Errorf("implausible sizes n=%d m=%d", n, m)
 	}
-	return 1
-}()
+	return []uint64{(n + 1) * 8, m * 4, (n + 1) * 8, m * 4}, nil
+}
 
 // IsMagic reports whether head (the first bytes of a file or stream)
 // starts a gstore file.
-func IsMagic(head []byte) bool {
-	return len(head) >= len(Magic) && string(head[:len(Magic)]) == Magic
-}
+func IsMagic(head []byte) bool { return schema.IsMagic(head) }
 
 // OpenMode selects how Open gets the file's bytes.
-type OpenMode int
+type OpenMode = secfile.OpenMode
 
 const (
 	// ModeAuto maps the file when the platform supports it and falls
 	// back to a buffered read.
-	ModeAuto OpenMode = iota
+	ModeAuto = secfile.ModeAuto
 	// ModeMmap requires the zero-copy mapping; Open fails where mmap
 	// is unavailable.
-	ModeMmap
+	ModeMmap = secfile.ModeMmap
 	// ModeBuffered always reads the file into memory.
-	ModeBuffered
+	ModeBuffered = secfile.ModeBuffered
 )
 
 // OpenOptions tunes Open and Read.
@@ -119,251 +151,44 @@ type OpenOptions struct {
 	Validate bool
 }
 
-// sectionSpec describes one section's expected geometry for a given
-// header: its element width and byte length.
-type section struct {
-	off, length, crc uint64
-}
-
-// layout computes the canonical section geometry for n vertices and m
-// edges: offsets are assigned in file order with 8-byte alignment.
-func layout(n, m uint64) [numSections]section {
-	var secs [numSections]section
-	sizes := [numSections]uint64{(n + 1) * 8, m * 4, (n + 1) * 8, m * 4}
-	off := uint64(headerSize)
-	for i, sz := range sizes {
-		secs[i] = section{off: off, length: sz}
-		off = align8(off + sz)
-	}
-	return secs
-}
-
-func align8(x uint64) uint64 { return (x + 7) &^ 7 }
-
-// fileSize returns the total encoded size for n vertices and m edges.
-func fileSize(n, m uint64) uint64 {
-	secs := layout(n, m)
-	last := secs[numSections-1]
-	return align8(last.off + last.length)
-}
-
-// int64Bytes views an []int64 as raw bytes (native order).
-func int64Bytes(s []int64) []byte {
-	if len(s) == 0 {
-		return nil
-	}
-	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
-}
-
-// vidBytes views a []VertexID (uint32) as raw bytes (native order).
-func vidBytes(s []graph.VertexID) []byte {
-	if len(s) == 0 {
-		return nil
-	}
-	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+func (o OpenOptions) codec() secfile.OpenOptions {
+	return secfile.OpenOptions{Mode: o.Mode, NoVerify: o.NoVerify}
 }
 
 // Write serializes g to w in the gstore format.
 func Write(w io.Writer, g *graph.Graph) error {
 	c := g.CSRView()
-	n, m := uint64(c.NumVertices), uint64(len(c.OutAdj))
-	secs := layout(n, m)
-	parts := [numSections][]byte{
-		int64Bytes(c.OutOff), vidBytes(c.OutAdj),
-		int64Bytes(c.InOff), vidBytes(c.InAdj),
-	}
-
-	hdr := make([]byte, headerSize)
-	copy(hdr, Magic)
-	binary.LittleEndian.PutUint32(hdr[8:12], Version)
-	hdr[12] = nativeEndian
-	binary.LittleEndian.PutUint64(hdr[16:24], n)
-	binary.LittleEndian.PutUint64(hdr[24:32], m)
-	for i, part := range parts {
-		secs[i].crc = crc64.Checksum(part, crcTable)
-		ent := hdr[tableOffset+24*i:]
-		binary.LittleEndian.PutUint64(ent[0:8], secs[i].off)
-		binary.LittleEndian.PutUint64(ent[8:16], secs[i].length)
-		binary.LittleEndian.PutUint64(ent[16:24], secs[i].crc)
-	}
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	var pad [8]byte
-	pos := uint64(headerSize)
-	for i, part := range parts {
-		if secs[i].off > pos {
-			if _, err := w.Write(pad[:secs[i].off-pos]); err != nil {
-				return err
-			}
-			pos = secs[i].off
-		}
-		if _, err := w.Write(part); err != nil {
-			return err
-		}
-		pos += uint64(len(part))
-	}
-	if end := fileSize(n, m); end > pos {
-		if _, err := w.Write(pad[:end-pos]); err != nil {
-			return err
-		}
-	}
-	return nil
+	hdr := schema.NewHeader()
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(c.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(c.OutAdj)))
+	return schema.Write(w, hdr, [][]byte{
+		secfile.Bytes(c.OutOff), secfile.Bytes(c.OutAdj),
+		secfile.Bytes(c.InOff), secfile.Bytes(c.InAdj),
+	})
 }
 
 // Save writes g to path atomically: the bytes land in a temp file in
-// the same directory which is renamed over path, so readers never see
-// a half-written graph and a crash never corrupts an existing cache.
+// the same directory which is fsync'd and renamed over path, so
+// readers never see a half-written graph and a crash never corrupts
+// an existing cache.
 func Save(path string, g *graph.Graph) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
-	if err := Write(tmp, g); err != nil {
-		tmp.Close()
-		return err
-	}
-	// Flush the data before the rename: a journaled rename over
-	// unflushed blocks could otherwise survive a crash as a truncated
-	// destination, destroying a previous good file.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	syncDir(filepath.Dir(path))
-	return nil
+	return secfile.SaveAtomic(path, func(w io.Writer) error { return Write(w, g) })
 }
 
-// syncDir best-effort fsyncs a directory so a just-completed rename
-// itself survives a crash (not all platforms/filesystems support it).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
-// header is the decoded fixed part of a gstore file.
-type header struct {
-	n, m uint64
-	secs [numSections]section
-}
-
-// parseHeader validates the fixed header and section table against the
-// canonical layout, without touching section bytes. total, when >= 0,
-// is the number of bytes actually available (file or buffer size).
-func parseHeader(hdr []byte, total int64) (header, error) {
-	var h header
-	if len(hdr) < headerSize {
-		return h, fmt.Errorf("%w: short header (%d bytes)", ErrFormat, len(hdr))
-	}
-	if !IsMagic(hdr) {
-		return h, fmt.Errorf("%w: bad magic", ErrFormat)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
-		return h, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
-	}
-	if hdr[12] != nativeEndian {
-		return h, ErrEndian
-	}
-	h.n = binary.LittleEndian.Uint64(hdr[16:24])
-	h.m = binary.LittleEndian.Uint64(hdr[24:32])
-	if h.n > maxVertices || h.m > maxEdges {
-		return h, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrFormat, h.n, h.m)
-	}
-	want := layout(h.n, h.m)
-	for i := range h.secs {
-		ent := hdr[tableOffset+24*i:]
-		h.secs[i] = section{
-			off:    binary.LittleEndian.Uint64(ent[0:8]),
-			length: binary.LittleEndian.Uint64(ent[8:16]),
-			crc:    binary.LittleEndian.Uint64(ent[16:24]),
-		}
-		// The table must describe exactly the canonical layout; this
-		// pins alignment, ordering and non-overlap in one comparison
-		// and leaves a crafted table nowhere to point.
-		if h.secs[i].off != want[i].off || h.secs[i].length != want[i].length {
-			return h, fmt.Errorf("%w: section %d geometry %d+%d, want %d+%d",
-				ErrFormat, i, h.secs[i].off, h.secs[i].length, want[i].off, want[i].length)
-		}
-	}
-	if total >= 0 && fileSize(h.n, h.m) > uint64(total) {
-		return h, fmt.Errorf("%w: truncated (%d bytes, need %d)", ErrFormat, total, fileSize(h.n, h.m))
-	}
-	return h, nil
-}
-
-// int64View aliases count int64s at data[off:] when the pointer is
-// 8-aligned (mmap bases and the aligned read buffers always are) and
-// copies otherwise, so decoding never performs a misaligned load.
-func int64View(data []byte, off uint64, count int) []int64 {
-	if count == 0 {
-		return []int64{}
-	}
-	p := unsafe.Pointer(&data[off])
-	if uintptr(p)%8 == 0 {
-		return unsafe.Slice((*int64)(p), count)
-	}
-	out := make([]int64, count)
-	copy(int64Bytes(out), data[off:off+uint64(count)*8])
-	return out
-}
-
-// vidView is int64View for uint32 vertex ids (4-byte alignment).
-func vidView(data []byte, off uint64, count int) []graph.VertexID {
-	if count == 0 {
-		return []graph.VertexID{}
-	}
-	p := unsafe.Pointer(&data[off])
-	if uintptr(p)%4 == 0 {
-		return unsafe.Slice((*graph.VertexID)(p), count)
-	}
-	out := make([]graph.VertexID, count)
-	copy(vidBytes(out), data[off:off+uint64(count)*4])
-	return out
-}
-
-// Decode builds a Graph over data, which must hold a complete gstore
-// file. The returned graph's arrays alias data (zero-copy) whenever
-// alignment allows; backing, when non-nil, owns data's memory and is
-// released by the graph's Close. Decode never panics on corrupt input:
-// every section is bounds-checked against the canonical layout before
-// it is touched, checksums are verified (unless opts.NoVerify), and
-// the offset arrays are structurally validated by graph.FromCSR.
-func Decode(data []byte, backing io.Closer, opts OpenOptions) (*graph.Graph, error) {
-	closeBacking := func() {
-		if backing != nil {
-			backing.Close()
-		}
-	}
-	h, err := parseHeader(data, int64(len(data)))
-	if err != nil {
-		closeBacking()
-		return nil, err
-	}
-	if !opts.NoVerify {
-		for i, s := range h.secs {
-			if got := crc64.Checksum(data[s.off:s.off+s.length], crcTable); got != s.crc {
-				closeBacking()
-				return nil, fmt.Errorf("%w: section %d", ErrChecksum, i)
-			}
-		}
-	}
+// fromFile builds a Graph over a parsed section file. The graph's
+// arrays alias f.Data (zero-copy) whenever alignment allows; f owns
+// the backing storage and is released by the graph's Close (or here,
+// on error).
+func fromFile(f *secfile.File, opts OpenOptions) (*graph.Graph, error) {
+	n, m := headerCounts(f.Header())
 	c := graph.CSR{
-		NumVertices: int(h.n),
-		OutOff:      int64View(data, h.secs[0].off, int(h.n)+1),
-		OutAdj:      vidView(data, h.secs[1].off, int(h.m)),
-		InOff:       int64View(data, h.secs[2].off, int(h.n)+1),
-		InAdj:       vidView(data, h.secs[3].off, int(h.m)),
+		NumVertices: int(n),
+		OutOff:      secfile.View[int64](f.Data, f.Secs[0].Off, int(n)+1),
+		OutAdj:      secfile.View[graph.VertexID](f.Data, f.Secs[1].Off, int(m)),
+		InOff:       secfile.View[int64](f.Data, f.Secs[2].Off, int(n)+1),
+		InAdj:       secfile.View[graph.VertexID](f.Data, f.Secs[3].Off, int(m)),
 	}
-	g, err := graph.FromCSR(c, backing) // FromCSR closes backing on error
+	g, err := graph.FromCSR(c, f) // FromCSR closes f on error
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
@@ -376,51 +201,30 @@ func Decode(data []byte, backing io.Closer, opts OpenOptions) (*graph.Graph, err
 	return g, nil
 }
 
-// mmapBacking releases a mapping when the graph is closed.
-type mmapBacking struct{ unmap func() error }
-
-func (b *mmapBacking) Close() error { return b.unmap() }
+// Decode builds a Graph over data, which must hold a complete gstore
+// file. The returned graph's arrays alias data (zero-copy) whenever
+// alignment allows; backing, when non-nil, owns data's memory and is
+// released by the graph's Close. Decode never panics on corrupt input:
+// every section is bounds-checked against the canonical layout before
+// it is touched, checksums are verified (unless opts.NoVerify), and
+// the offset arrays are structurally validated by graph.FromCSR.
+func Decode(data []byte, backing io.Closer, opts OpenOptions) (*graph.Graph, error) {
+	f, err := schema.Decode(data, backing, opts.codec())
+	if err != nil {
+		return nil, err
+	}
+	return fromFile(f, opts)
+}
 
 // Open opens a gstore file, zero-copy via mmap when the platform
 // allows (the adjacency slices alias the file pages; Close unmaps
 // them), falling back to a buffered read under ModeAuto.
 func Open(path string, opts OpenOptions) (*graph.Graph, error) {
-	f, err := os.Open(path)
+	f, err := schema.Open(path, opts.codec())
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	size := st.Size()
-	if size < headerSize {
-		f.Close()
-		return nil, fmt.Errorf("%w: %s is %d bytes", ErrFormat, path, size)
-	}
-
-	if opts.Mode != ModeBuffered && mmapSupported {
-		data, unmap, merr := mmapFile(f, int(size))
-		if merr == nil {
-			f.Close() // the mapping outlives the descriptor
-			return Decode(data, &mmapBacking{unmap: unmap}, opts)
-		}
-		if opts.Mode == ModeMmap {
-			f.Close()
-			return nil, fmt.Errorf("gstore: mmap %s: %w", path, merr)
-		}
-	} else if opts.Mode == ModeMmap {
-		f.Close()
-		return nil, fmt.Errorf("gstore: mmap %s: %w", path, errors.ErrUnsupported)
-	}
-
-	defer f.Close()
-	buf := alignedBytes(int(size))
-	if _, err := io.ReadFull(f, buf); err != nil {
-		return nil, err
-	}
-	return Decode(buf, nil, opts)
+	return fromFile(f, opts)
 }
 
 // Read decodes a gstore stream (the buffered path gio uses for
@@ -429,43 +233,9 @@ func Open(path string, opts OpenOptions) (*graph.Graph, error) {
 // it, so a hostile header claiming a huge graph fails at the stream's
 // real end instead of forcing one giant allocation up front.
 func Read(r io.Reader, opts OpenOptions) (*graph.Graph, error) {
-	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
-	}
-	h, err := parseHeader(hdr, -1)
+	f, err := schema.Read(r, opts.codec())
 	if err != nil {
 		return nil, err
 	}
-	total := fileSize(h.n, h.m)
-	buf := alignedBytes(headerSize)
-	copy(buf, hdr)
-	for have := uint64(headerSize); have < total; {
-		next := have * 2
-		if next < 1<<24 {
-			next = 1 << 24
-		}
-		if next > total {
-			next = total
-		}
-		grown := alignedBytes(int(next))
-		copy(grown, buf[:have])
-		if _, err := io.ReadFull(r, grown[have:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at byte %d of %d: %v", ErrFormat, have, total, err)
-		}
-		buf = grown
-		have = next
-	}
-	return Decode(buf, nil, opts)
-}
-
-// alignedBytes returns an n-byte slice whose base address is 8-byte
-// aligned (it views a []uint64), so Decode can alias int64 sections
-// without copying even on the buffered path.
-func alignedBytes(n int) []byte {
-	if n == 0 {
-		return nil
-	}
-	words := make([]uint64, (n+7)/8)
-	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+	return fromFile(f, opts)
 }

@@ -10,7 +10,14 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
+	"repro/internal/secfile"
 )
+
+// sectionLayout computes the canonical FWGSTOR1 section geometry for n
+// vertices and m edges, for tests that corrupt specific sections.
+func sectionLayout(n, m uint64) []secfile.Section {
+	return schema.Layout([]uint64{(n + 1) * 8, m * 4, (n + 1) * 8, m * 4})
+}
 
 // testGraph builds a small power-law graph with a spread of degrees.
 func testGraph(t testing.TB, n int) *graph.Graph {
@@ -54,7 +61,7 @@ func TestRoundTripAllPaths(t *testing.T) {
 		mode OpenMode
 	}{{"auto", ModeAuto}, {"mmap", ModeMmap}, {"buffered", ModeBuffered}}
 	for _, m := range modes {
-		if m.mode == ModeMmap && !mmapSupported {
+		if m.mode == ModeMmap && !secfile.MmapSupported {
 			continue
 		}
 		t.Run(m.name, func(t *testing.T) {
@@ -112,13 +119,13 @@ func TestRoundTripEdgeCases(t *testing.T) {
 func encodeAligned(t testing.TB, g *graph.Graph) []byte {
 	t.Helper()
 	raw := encode(t, g)
-	buf := alignedBytes(len(raw))
+	buf := secfile.AlignedBytes(len(raw))
 	copy(buf, raw)
 	return buf
 }
 
 func TestZeroCopyAliasing(t *testing.T) {
-	if !mmapSupported {
+	if !secfile.MmapSupported {
 		t.Skip("no mmap on this platform")
 	}
 	g := testGraph(t, 200)
@@ -152,7 +159,7 @@ func TestChecksumCatchesBitFlips(t *testing.T) {
 	// corruption must be caught even though Validate is off for
 	// gstore files (that is the whole point of the checksums).
 	for _, off := range []int{headerSize + 3, len(raw) / 2, len(raw) - 2} {
-		cp := alignedBytes(len(raw))
+		cp := secfile.AlignedBytes(len(raw))
 		copy(cp, raw)
 		cp[off] ^= 0x10
 		if _, err := Decode(cp, nil, OpenOptions{}); !errors.Is(err, ErrChecksum) {
@@ -165,7 +172,7 @@ func TestCorruptHeaders(t *testing.T) {
 	g := testGraph(t, 100)
 	raw := encode(t, g)
 	mutate := func(f func(b []byte)) []byte {
-		cp := alignedBytes(len(raw))
+		cp := secfile.AlignedBytes(len(raw))
 		copy(cp, raw)
 		f(cp)
 		return cp
@@ -181,7 +188,7 @@ func TestCorruptHeaders(t *testing.T) {
 		{"huge n", mutate(func(b []byte) { b[16] = 0xff; b[22] = 0xff }), ErrFormat},
 		{"section off tampered", mutate(func(b []byte) { b[tableOffset] ^= 0x40 }), ErrFormat},
 		{"section len tampered", mutate(func(b []byte) { b[tableOffset+8] ^= 0x40 }), ErrFormat},
-		{"short", alignedBytes(headerSize - 1), ErrFormat},
+		{"short", secfile.AlignedBytes(headerSize - 1), ErrFormat},
 		{"truncated body", mutate(func(b []byte) {})[:headerSize+8], ErrFormat},
 	}
 	for _, tc := range cases {
@@ -217,8 +224,8 @@ func TestNoVerifySkipsChecksums(t *testing.T) {
 	// Corrupt an adjacency byte: NoVerify must not notice (offsets
 	// stay structurally valid), proving the checksum pass is what
 	// catches content corruption.
-	secs := layout(uint64(g.NumVertices()), uint64(g.NumEdges()))
-	raw[secs[1].off] ^= 0x01
+	secs := sectionLayout(uint64(g.NumVertices()), uint64(g.NumEdges()))
+	raw[secs[1].Off] ^= 0x01
 	if _, err := Decode(raw, nil, OpenOptions{NoVerify: true}); err != nil {
 		t.Fatalf("NoVerify decode: %v", err)
 	}

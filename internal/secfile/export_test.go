@@ -1,0 +1,16 @@
+package secfile
+
+// SwapHostEndian flips the byte-order tag Write stamps and Parse
+// accepts, so tests on little-endian hardware can produce and consume
+// synthetic big-endian-tagged files (and vice versa). The returned
+// func restores the real tag; callers must t.Cleanup or defer it, and
+// must not run in parallel with other codec users.
+func SwapHostEndian() (restore func()) {
+	old := hostEndian
+	hostEndian = 1 - old
+	return func() { hostEndian = old }
+}
+
+// ForeignEndianTag is the tag SwapHostEndian switches to: the byte
+// order this process does not have.
+func ForeignEndianTag() byte { return 1 - NativeEndian }

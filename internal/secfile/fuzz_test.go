@@ -1,0 +1,111 @@
+package secfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false, "regenerate the checked-in FuzzSecfile seed corpus")
+
+// corpusSeeds builds the canonical fuzz seeds: a valid file, a
+// truncated one, a hostile header claiming a huge section, and a valid
+// geometry whose payload fails its checksum.
+func corpusSeeds(t testing.TB) map[string][]byte {
+	s := testSchema()
+	enc := func(a, b []byte) []byte {
+		hdr := s.NewHeader()
+		binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(a)))
+		binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(b)))
+		var buf bytes.Buffer
+		if err := s.Write(&buf, hdr, [][]byte{a, b}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := enc([]byte("seed section one"), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	truncated := bytes.Clone(valid)[:len(valid)-7]
+	hostile := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(hostile[16:24], 1<<60)
+	badsum := bytes.Clone(valid)
+	badsum[len(badsum)-1] ^= 0xff
+	return map[string][]byte{
+		"valid":          valid,
+		"truncated":      truncated,
+		"hostile-header": hostile,
+		"bad-checksum":   badsum,
+	}
+}
+
+// TestFuzzCorpus pins the checked-in seed corpus under
+// testdata/fuzz/FuzzSecfile to corpusSeeds; -update-corpus regenerates
+// it.
+func TestFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzSecfile")
+	seeds := corpusSeeds(t)
+	if *updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, data := range seeds {
+		path := filepath.Join(dir, name)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if *updateCorpus {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed corpus entry missing (regenerate with -update-corpus): %v", err)
+		}
+		if string(got) != body {
+			t.Errorf("seed corpus entry %s drifted from corpusSeeds (regenerate with -update-corpus)", name)
+		}
+	}
+}
+
+// FuzzSecfile throws arbitrary bytes at both decode paths. Invariants:
+// neither Decode nor Read may panic; they agree on validity for the
+// same input; and anything that decodes re-encodes into a file that
+// decodes to the same sections.
+func FuzzSecfile(f *testing.F) {
+	for _, data := range corpusSeeds(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := testSchema()
+		file, err := s.Decode(bytes.Clone(data), nil, OpenOptions{})
+		rfile, rerr := s.Read(bytes.NewReader(data), OpenOptions{})
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("Decode err=%v but Read err=%v on identical input", err, rerr)
+		}
+		if err != nil {
+			return
+		}
+		for i := range file.Secs {
+			if !bytes.Equal(file.Section(i), rfile.Section(i)) {
+				t.Fatalf("Decode and Read disagree on section %d", i)
+			}
+		}
+		var buf bytes.Buffer
+		parts := [][]byte{bytes.Clone(file.Section(0)), bytes.Clone(file.Section(1))}
+		if err := s.Write(&buf, bytes.Clone(file.Header()), parts); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		re, err := s.Decode(buf.Bytes(), nil, OpenOptions{})
+		if err != nil {
+			t.Fatalf("re-encoded file does not decode: %v", err)
+		}
+		if !bytes.Equal(re.Section(0), file.Section(0)) || !bytes.Equal(re.Section(1), file.Section(1)) {
+			t.Fatal("sections do not survive a re-encode round trip")
+		}
+	})
+}

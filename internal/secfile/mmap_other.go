@@ -1,6 +1,6 @@
 //go:build !unix
 
-package gstore
+package secfile
 
 import (
 	"errors"

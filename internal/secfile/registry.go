@@ -1,0 +1,65 @@
+package secfile
+
+import (
+	"sort"
+	"sync"
+)
+
+// Field is one decoded header scalar, rendered for inspection.
+type Field struct {
+	Name  string
+	Value string
+}
+
+// Info describes a registered format for auto-detection and
+// inspection: its schema plus the human-facing metadata tools like
+// cmd/fwtool need to dump a file without format-specific code.
+type Info struct {
+	// Name is the format's human-readable name.
+	Name string
+	// Schema is the format's codec schema; its Magic keys the registry.
+	Schema *Schema
+	// SectionNames names each section, index-aligned with the table.
+	SectionNames []string
+	// Fields renders the format's scalar header fields from a full
+	// header (already prelude-validated). Optional.
+	Fields func(hdr []byte) []Field
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+)
+
+// Register adds (or replaces) a format in the global registry,
+// normally from the format package's init. The schema's magic is the
+// key.
+func Register(info Info) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[info.Schema.Magic] = info
+}
+
+// Lookup finds the registered format whose magic starts head.
+func Lookup(head []byte) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, info := range registry {
+		if info.Schema.IsMagic(head) {
+			return info, true
+		}
+	}
+	return Info{}, false
+}
+
+// Registered returns every registered format, sorted by magic.
+func Registered() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	infos := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Schema.Magic < infos[j].Schema.Magic })
+	return infos
+}

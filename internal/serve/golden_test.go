@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+var updateSnapGolden = flag.Bool("update-golden", false, "rewrite the golden snapshot file")
+
+func snapHostLittleEndian() bool {
+	return binary.NativeEndian.Uint16([]byte{0x01, 0x00}) == 1
+}
+
+// goldenSnapshot is a fully deterministic snapshot (every field fixed,
+// including the timing provenance WriteSnapshot persists), so its
+// FWSNAP01 encoding can be pinned byte-for-byte.
+func goldenSnapshot() *Snapshot {
+	const n = 64
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(i+2)
+	}
+	return &Snapshot{
+		Epoch:        5,
+		Engine:       EngineFrogWild,
+		Seed:         42,
+		BuiltAt:      time.Unix(1700000000, 123456789),
+		BuildSeconds: 1.5,
+		Stats: graph.Stats{
+			NumVertices: n,
+			NumEdges:    192,
+			MinOutDeg:   1,
+			MaxOutDeg:   9,
+			MaxInDeg:    7,
+			MeanDeg:     3,
+			GiniOut:     0.421875,
+			Dangling:    3,
+		},
+		Ranks: ranks,
+		Top:   topk.Top(ranks, 10),
+		MaxK:  10,
+	}
+}
+
+// TestSnapshotGoldenBytes pins the FWSNAP01 encoding in both
+// directions: the writer must reproduce the checked-in golden file
+// bit-identically, and the golden file (produced by the PR 5 writer)
+// must decode to the same snapshot. Any refactor of the encode/decode
+// plumbing must keep this file format-stable.
+func TestSnapshotGoldenBytes(t *testing.T) {
+	if !snapHostLittleEndian() {
+		t.Skip("golden files carry little-endian native sections")
+	}
+	snap := goldenSnapshot()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "fwsnap01-v1.golden")
+	if *updateSnapGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("writer output diverged from the golden file (%d vs %d bytes): the FWSNAP01 encoding must stay bit-identical",
+			buf.Len(), len(want))
+	}
+	got, err := DecodeSnapshot(append([]byte{}, want...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != snap.Epoch || got.Engine != snap.Engine || got.Seed != snap.Seed {
+		t.Fatalf("provenance lost: %+v", got)
+	}
+	if got.BuiltAt.UnixNano() != snap.BuiltAt.UnixNano() || got.BuildSeconds != snap.BuildSeconds {
+		t.Fatal("timing provenance lost")
+	}
+	if got.MaxK != snap.MaxK || got.Stats != snap.Stats {
+		t.Fatalf("metadata lost: maxk=%d stats=%+v", got.MaxK, got.Stats)
+	}
+	if !reflect.DeepEqual(got.Ranks, snap.Ranks) || !reflect.DeepEqual(got.Top, snap.Top) {
+		t.Fatal("golden file decodes to different ranks or top index")
+	}
+	if math.IsNaN(got.Ranks[0]) {
+		t.Fatal("impossible")
+	}
+}

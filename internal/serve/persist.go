@@ -2,15 +2,15 @@ package serve
 
 // Snapshot persistence: the serving layer's answer to restart cost.
 // Every published snapshot can be written to disk in a checksummed
-// binary format with the same header discipline as the gstore graph
-// format (magic, version, byte-order tag, 8-aligned sections,
-// CRC-64/ECMA per section), and prserve can warm-start from the last
-// persisted file: the ranks and the precomputed top index load in
-// milliseconds — independent of how long the estimate took to compute
-// — and serve queries, with the persisted epoch's provenance, while
-// the first fresh refresh runs in the background.
+// binary format, and prserve can warm-start from the last persisted
+// file: the ranks and the precomputed top index load in milliseconds —
+// independent of how long the estimate took to compute — and serve
+// queries, with the persisted epoch's provenance, while the first
+// fresh refresh runs in the background.
 //
-// File layout (header scalars little-endian, sections native order):
+// The byte-level discipline (header prelude, checksummed section
+// table, atomic save, bounded stream read) is the shared
+// internal/secfile codec; this file is the FWSNAP01 schema over it:
 //
 //	offset  size  field
 //	0       8     magic "FWSNAP01"
@@ -38,15 +38,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc64"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"time"
-	"unsafe"
 
 	"repro/internal/graph"
+	"repro/internal/secfile"
 	"repro/internal/topk"
 )
 
@@ -64,59 +63,82 @@ const (
 
 // ErrSnapshotFormat wraps every corruption the snapshot loader
 // detects; ErrSnapshotMismatch flags a valid snapshot that belongs to
-// a different graph than the one being served.
+// a different graph than the one being served. Failures also wrap the
+// corresponding internal/secfile identity.
 var (
 	ErrSnapshotFormat   = errors.New("serve: not a snapshot file")
 	ErrSnapshotChecksum = errors.New("serve: snapshot section checksum mismatch")
 	ErrSnapshotMismatch = errors.New("serve: snapshot does not match the served graph")
 )
 
-var snapCRC = crc64.MakeTable(crc64.ECMA)
+// snapSchema plugs the FWSNAP01 layout into the shared codec; a
+// foreign byte order is a plain format error for snapshots (the file
+// is a cache — the server just rebuilds).
+var snapSchema = &secfile.Schema{
+	Magic:        snapMagic,
+	Version:      snapVersion,
+	HeaderSize:   snapHeaderSize,
+	TableOff:     snapTableOff,
+	NumSections:  snapSections,
+	SectionSizes: snapSectionSizes,
+	ErrFormat:    ErrSnapshotFormat,
+	ErrChecksum:  ErrSnapshotChecksum,
+	ErrEndian:    ErrSnapshotFormat,
+}
 
-var snapNativeEndian = func() byte {
-	x := uint16(1)
-	if *(*byte)(unsafe.Pointer(&x)) == 1 {
-		return 0
+func init() {
+	secfile.Register(secfile.Info{
+		Name:         "serve snapshot",
+		Schema:       snapSchema,
+		SectionNames: []string{"ranks", "topVertices", "topScores"},
+		Fields: func(hdr []byte) []secfile.Field {
+			return []secfile.Field{
+				{Name: "vertices", Value: fmt.Sprint(binary.LittleEndian.Uint64(hdr[16:24]))},
+				{Name: "edges", Value: fmt.Sprint(binary.LittleEndian.Uint64(hdr[24:32]))},
+				{Name: "maxK", Value: fmt.Sprint(binary.LittleEndian.Uint64(hdr[32:40]))},
+				{Name: "topLen", Value: fmt.Sprint(binary.LittleEndian.Uint64(hdr[40:48]))},
+				{Name: "epoch", Value: fmt.Sprint(binary.LittleEndian.Uint64(hdr[48:56]))},
+				{Name: "seed", Value: fmt.Sprint(binary.LittleEndian.Uint64(hdr[56:64]))},
+				{Name: "engine", Value: string(engineName(hdr))},
+				{Name: "builtAt", Value: time.Unix(0, int64(binary.LittleEndian.Uint64(hdr[64:72]))).UTC().Format(time.RFC3339)},
+				{Name: "buildSeconds", Value: fmt.Sprintf("%.3f", math.Float64frombits(binary.LittleEndian.Uint64(hdr[72:80])))},
+			}
+		},
+	})
+}
+
+// engineName extracts the zero-padded engine name field.
+func engineName(hdr []byte) []byte {
+	engine := hdr[80:96]
+	end := 0
+	for end < len(engine) && engine[end] != 0 {
+		end++
 	}
-	return 1
-}()
+	return engine[:end]
+}
+
+// snapSectionSizes derives the three sections' byte lengths from the
+// header's rank-vector and top-index lengths, rejecting implausible or
+// internally inconsistent claims before anything is allocated.
+func snapSectionSizes(hdr []byte) ([]uint64, error) {
+	n := binary.LittleEndian.Uint64(hdr[16:24])
+	maxK := binary.LittleEndian.Uint64(hdr[32:40])
+	topLen := binary.LittleEndian.Uint64(hdr[40:48])
+	if n == 0 || n > maxSnapVertices {
+		return nil, fmt.Errorf("implausible n=%d", n)
+	}
+	if topLen > n || maxK == 0 || maxK > maxSnapVertices {
+		return nil, fmt.Errorf("implausible top index (maxk=%d len=%d)", maxK, topLen)
+	}
+	if topLen != min(maxK, n) {
+		return nil, fmt.Errorf("top length %d, want min(maxk=%d, n=%d)", topLen, maxK, n)
+	}
+	return []uint64{n * 8, topLen * 4, topLen * 8}, nil
+}
 
 // SnapshotPath returns the file inside dir where the serving layer
 // persists (and warm-starts from) the latest snapshot.
 func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.fws") }
-
-type snapSection struct{ off, length, crc uint64 }
-
-func snapLayout(n, topLen uint64) [snapSections]snapSection {
-	sizes := [snapSections]uint64{n * 8, topLen * 4, topLen * 8}
-	var secs [snapSections]snapSection
-	off := uint64(snapHeaderSize)
-	for i, sz := range sizes {
-		secs[i] = snapSection{off: off, length: sz}
-		off = (off + sz + 7) &^ 7
-	}
-	return secs
-}
-
-func snapFileSize(n, topLen uint64) uint64 {
-	secs := snapLayout(n, topLen)
-	last := secs[snapSections-1]
-	return (last.off + last.length + 7) &^ 7
-}
-
-func f64Bytes(s []float64) []byte {
-	if len(s) == 0 {
-		return nil
-	}
-	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
-}
-
-func u32Bytes(s []uint32) []byte {
-	if len(s) == 0 {
-		return nil
-	}
-	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
-}
 
 // WriteSnapshot serializes s (ranks, top index, provenance, graph
 // stats) to w.
@@ -133,13 +155,8 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	for i, e := range s.Top {
 		topV[i], topS[i] = e.Vertex, e.Score
 	}
-	parts := [snapSections][]byte{f64Bytes(s.Ranks), u32Bytes(topV), f64Bytes(topS)}
-	secs := snapLayout(n, topLen)
 
-	hdr := make([]byte, snapHeaderSize)
-	copy(hdr, snapMagic)
-	binary.LittleEndian.PutUint32(hdr[8:12], snapVersion)
-	hdr[12] = snapNativeEndian
+	hdr := snapSchema.NewHeader()
 	binary.LittleEndian.PutUint64(hdr[16:24], n)
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(s.Stats.NumEdges))
 	binary.LittleEndian.PutUint64(hdr[32:40], uint64(s.MaxK))
@@ -156,142 +173,47 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	binary.LittleEndian.PutUint64(hdr[120:128], math.Float64bits(st.MeanDeg))
 	binary.LittleEndian.PutUint64(hdr[128:136], math.Float64bits(st.GiniOut))
 	binary.LittleEndian.PutUint64(hdr[136:144], uint64(st.Dangling))
-	for i, part := range parts {
-		secs[i].crc = crc64.Checksum(part, snapCRC)
-		ent := hdr[snapTableOff+24*i:]
-		binary.LittleEndian.PutUint64(ent[0:8], secs[i].off)
-		binary.LittleEndian.PutUint64(ent[8:16], secs[i].length)
-		binary.LittleEndian.PutUint64(ent[16:24], secs[i].crc)
-	}
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	var pad [8]byte
-	pos := uint64(snapHeaderSize)
-	for i, part := range parts {
-		if secs[i].off > pos {
-			if _, err := w.Write(pad[:secs[i].off-pos]); err != nil {
-				return err
-			}
-			pos = secs[i].off
-		}
-		if _, err := w.Write(part); err != nil {
-			return err
-		}
-		pos += uint64(len(part))
-	}
-	if end := snapFileSize(n, topLen); end > pos {
-		if _, err := w.Write(pad[:end-pos]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return snapSchema.Write(w, hdr, [][]byte{
+		secfile.Bytes(s.Ranks), secfile.Bytes(topV), secfile.Bytes(topS),
+	})
 }
 
-// SaveSnapshot persists s to path atomically (temp file + rename in
-// the same directory), so a crash mid-write never destroys the
-// previous snapshot and a concurrent warm start never sees a torn
+// SaveSnapshot persists s to path atomically (temp file + fsync +
+// rename in the same directory), so a crash mid-write never destroys
+// the previous snapshot and a concurrent warm start never sees a torn
 // file.
 func SaveSnapshot(path string, s *Snapshot) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := WriteSnapshot(tmp, s); err != nil {
-		tmp.Close()
-		return err
-	}
-	// Flush before the rename so a crash can never replace the
-	// previous good snapshot with a truncated one; then best-effort
-	// fsync the directory so the rename itself is durable.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	return secfile.SaveAtomic(path, func(w io.Writer) error { return WriteSnapshot(w, s) })
 }
 
-// DecodeSnapshot rebuilds a Snapshot from data, attaching it to g (the
-// graph it will be served against). It verifies the header, the
-// per-section checksums, the graph-compatibility fields, and the top
-// index's internal consistency (every entry in range, scores matching
-// the rank vector, sorted by the topk total order), so a loaded
-// snapshot upholds exactly the invariants a freshly built one does.
-// The returned snapshot has WarmStart set.
-func DecodeSnapshot(data []byte, g *graph.Graph) (*Snapshot, error) {
-	if len(data) < snapHeaderSize {
-		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrSnapshotFormat, len(data))
-	}
-	if string(data[:8]) != snapMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotFormat)
-	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != snapVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshotFormat, v)
-	}
-	if data[12] != snapNativeEndian {
-		return nil, fmt.Errorf("%w: foreign byte order", ErrSnapshotFormat)
-	}
-	n := binary.LittleEndian.Uint64(data[16:24])
-	edges := binary.LittleEndian.Uint64(data[24:32])
-	maxK := binary.LittleEndian.Uint64(data[32:40])
-	topLen := binary.LittleEndian.Uint64(data[40:48])
-	if n == 0 || n > maxSnapVertices {
-		return nil, fmt.Errorf("%w: implausible n=%d", ErrSnapshotFormat, n)
-	}
-	if topLen > n || maxK == 0 || maxK > maxSnapVertices {
-		return nil, fmt.Errorf("%w: implausible top index (maxk=%d len=%d)", ErrSnapshotFormat, maxK, topLen)
-	}
-	if topLen != min(maxK, n) {
-		return nil, fmt.Errorf("%w: top length %d, want min(maxk=%d, n=%d)", ErrSnapshotFormat, topLen, maxK, n)
-	}
-	want := snapLayout(n, topLen)
-	var secs [snapSections]snapSection
-	for i := range secs {
-		ent := data[snapTableOff+24*i:]
-		secs[i] = snapSection{
-			off:    binary.LittleEndian.Uint64(ent[0:8]),
-			length: binary.LittleEndian.Uint64(ent[8:16]),
-			crc:    binary.LittleEndian.Uint64(ent[16:24]),
-		}
-		if secs[i].off != want[i].off || secs[i].length != want[i].length {
-			return nil, fmt.Errorf("%w: section %d geometry mismatch", ErrSnapshotFormat, i)
-		}
-	}
-	if snapFileSize(n, topLen) > uint64(len(data)) {
-		return nil, fmt.Errorf("%w: truncated (%d bytes, need %d)", ErrSnapshotFormat, len(data), snapFileSize(n, topLen))
-	}
-	for i, s := range secs {
-		if got := crc64.Checksum(data[s.off:s.off+s.length], snapCRC); got != s.crc {
-			return nil, fmt.Errorf("%w: section %d", ErrSnapshotChecksum, i)
-		}
-	}
+// snapshotFromFile rebuilds a Snapshot from a parsed, checksum-verified
+// section file, attaching it to g (the graph it will be served
+// against). Beyond the codec's structural checks it verifies the
+// graph-compatibility fields and the top index's internal consistency
+// (every entry in range, scores matching the rank vector, sorted by
+// the topk total order), so a loaded snapshot upholds exactly the
+// invariants a freshly built one does.
+func snapshotFromFile(f *secfile.File, g *graph.Graph) (*Snapshot, error) {
+	hdr := f.Header()
+	n := binary.LittleEndian.Uint64(hdr[16:24])
+	edges := binary.LittleEndian.Uint64(hdr[24:32])
+	maxK := binary.LittleEndian.Uint64(hdr[32:40])
+	topLen := binary.LittleEndian.Uint64(hdr[40:48])
 	if g != nil && (int(n) != g.NumVertices() || int64(edges) != g.NumEdges()) {
 		return nil, fmt.Errorf("%w: snapshot for n=%d m=%d, graph has n=%d m=%d",
 			ErrSnapshotMismatch, n, edges, g.NumVertices(), g.NumEdges())
 	}
 
-	// Sections were written in native byte order (the header's endian
-	// tag was checked above), so decode them with native-order copies —
+	// Sections were written in native byte order (the codec checked the
+	// header's endian tag), so decode them with native-order copies —
 	// not binary.LittleEndian, which would shred them on a big-endian
 	// host that wrote them itself.
 	ranks := make([]float64, n)
-	copy(f64Bytes(ranks), data[secs[0].off:])
+	copy(secfile.Bytes(ranks), f.Section(0))
 	topV := make([]uint32, topLen)
-	copy(u32Bytes(topV), data[secs[1].off:])
+	copy(secfile.Bytes(topV), f.Section(1))
 	topS := make([]float64, topLen)
-	copy(f64Bytes(topS), data[secs[2].off:])
+	copy(secfile.Bytes(topS), f.Section(2))
 	top := make([]topk.Entry, topLen)
 	for i := range top {
 		v, score := topV[i], topS[i]
@@ -310,27 +232,22 @@ func DecodeSnapshot(data []byte, g *graph.Graph) (*Snapshot, error) {
 		top[i] = topk.Entry{Vertex: v, Score: score}
 	}
 
-	engine := data[80:96]
-	end := 0
-	for end < len(engine) && engine[end] != 0 {
-		end++
-	}
 	s := &Snapshot{
-		Epoch:        binary.LittleEndian.Uint64(data[48:56]),
-		Engine:       Engine(engine[:end]),
-		Seed:         binary.LittleEndian.Uint64(data[56:64]),
-		BuiltAt:      time.Unix(0, int64(binary.LittleEndian.Uint64(data[64:72]))),
-		BuildSeconds: math.Float64frombits(binary.LittleEndian.Uint64(data[72:80])),
+		Epoch:        binary.LittleEndian.Uint64(hdr[48:56]),
+		Engine:       Engine(engineName(hdr)),
+		Seed:         binary.LittleEndian.Uint64(hdr[56:64]),
+		BuiltAt:      time.Unix(0, int64(binary.LittleEndian.Uint64(hdr[64:72]))),
+		BuildSeconds: math.Float64frombits(binary.LittleEndian.Uint64(hdr[72:80])),
 		Graph:        g,
 		Stats: graph.Stats{
 			NumVertices: int(n),
 			NumEdges:    int64(edges),
-			MinOutDeg:   int(int64(binary.LittleEndian.Uint64(data[96:104]))),
-			MaxOutDeg:   int(int64(binary.LittleEndian.Uint64(data[104:112]))),
-			MaxInDeg:    int(int64(binary.LittleEndian.Uint64(data[112:120]))),
-			MeanDeg:     math.Float64frombits(binary.LittleEndian.Uint64(data[120:128])),
-			GiniOut:     math.Float64frombits(binary.LittleEndian.Uint64(data[128:136])),
-			Dangling:    int(int64(binary.LittleEndian.Uint64(data[136:144]))),
+			MinOutDeg:   int(int64(binary.LittleEndian.Uint64(hdr[96:104]))),
+			MaxOutDeg:   int(int64(binary.LittleEndian.Uint64(hdr[104:112]))),
+			MaxInDeg:    int(int64(binary.LittleEndian.Uint64(hdr[112:120]))),
+			MeanDeg:     math.Float64frombits(binary.LittleEndian.Uint64(hdr[120:128])),
+			GiniOut:     math.Float64frombits(binary.LittleEndian.Uint64(hdr[128:136])),
+			Dangling:    int(int64(binary.LittleEndian.Uint64(hdr[136:144]))),
 		},
 		Ranks:     ranks,
 		Top:       top,
@@ -340,42 +257,29 @@ func DecodeSnapshot(data []byte, g *graph.Graph) (*Snapshot, error) {
 	return s, nil
 }
 
+// DecodeSnapshot rebuilds a Snapshot from data, attaching it to g (the
+// graph it will be served against). It verifies the header, the
+// per-section checksums, the graph-compatibility fields, and the top
+// index's internal consistency. The returned snapshot has WarmStart
+// set.
+func DecodeSnapshot(data []byte, g *graph.Graph) (*Snapshot, error) {
+	f, err := snapSchema.Decode(data, nil, secfile.OpenOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return snapshotFromFile(f, g)
+}
+
 // ReadSnapshot decodes a snapshot stream. The header is read first so
-// the exact remaining size is known before the body allocation.
+// the exact remaining size is known; the buffer grows geometrically
+// toward it, so a hostile header fails at the stream's real end
+// instead of forcing one giant allocation.
 func ReadSnapshot(r io.Reader, g *graph.Graph) (*Snapshot, error) {
-	hdr := make([]byte, snapHeaderSize)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+	f, err := snapSchema.Read(r, secfile.OpenOptions{})
+	if err != nil {
+		return nil, err
 	}
-	if string(hdr[:8]) != snapMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotFormat)
-	}
-	n := binary.LittleEndian.Uint64(hdr[16:24])
-	topLen := binary.LittleEndian.Uint64(hdr[40:48])
-	if n > maxSnapVertices || topLen > maxSnapVertices {
-		return nil, fmt.Errorf("%w: implausible sizes", ErrSnapshotFormat)
-	}
-	// Grow toward the claimed size instead of allocating it up front,
-	// so a hostile header fails at the stream's real end.
-	total := snapFileSize(n, topLen)
-	buf := hdr
-	for have := uint64(snapHeaderSize); have < total; {
-		next := have * 2
-		if next < 1<<24 {
-			next = 1 << 24
-		}
-		if next > total {
-			next = total
-		}
-		grown := make([]byte, next)
-		copy(grown, buf[:have])
-		if _, err := io.ReadFull(r, grown[have:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at byte %d of %d: %v", ErrSnapshotFormat, have, total, err)
-		}
-		buf = grown
-		have = next
-	}
-	return DecodeSnapshot(buf, g)
+	return snapshotFromFile(f, g)
 }
 
 // LoadSnapshot reads a persisted snapshot and attaches it to g. The

@@ -87,9 +87,10 @@ func TestSnapshotCorruptionDetected(t *testing.T) {
 		return cp
 	}
 	// Bit flips inside each section must fail by checksum.
-	secs := snapLayout(uint64(g.NumVertices()), 50)
+	n := uint64(g.NumVertices())
+	secs := snapSchema.Layout([]uint64{n * 8, 50 * 4, 50 * 8})
 	for i, s := range secs {
-		if _, err := DecodeSnapshot(flip(int(s.off)+2), g); !errors.Is(err, ErrSnapshotChecksum) {
+		if _, err := DecodeSnapshot(flip(int(s.Off)+2), g); !errors.Is(err, ErrSnapshotChecksum) {
 			t.Fatalf("section %d flip: err = %v, want checksum error", i, err)
 		}
 	}

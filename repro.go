@@ -154,6 +154,18 @@ func CachedGraph(cachePath string, build func() (*Graph, error)) (*Graph, error)
 	return gio.OpenCached(cachePath, build)
 }
 
+// CachedGraphChecked is the serving CLIs' -graph-cache protocol in one
+// call: an empty cachePath just builds, otherwise the cache is opened
+// (or built and saved) via CachedGraph, and — because the cache key is
+// only the file path — a hit is guarded against silently masking
+// changed generation flags: when the graph comes from a generator
+// (genN > 0) rather than an input file, a cached graph whose vertex
+// count differs from genN is an error telling the user to delete the
+// stale cache.
+func CachedGraphChecked(cachePath string, genN int, build func() (*Graph, error)) (*Graph, error) {
+	return gio.OpenCachedChecked(cachePath, genN, build)
+}
+
 // PageRankOptions configures the exact solver. Its Workers field
 // shards the power-iteration inner loop across cores (0 = GOMAXPROCS,
 // 1 = single-threaded) with bit-identical results for every setting.
