@@ -4,18 +4,24 @@
 // BENCH_* artifact trajectory the benchmarks feed and `benchreport
 // compare` can gate regressions against a committed baseline.
 //
-// Two targets:
+// Three targets:
 //
 //   - In-process (default): builds a graph and a snapshot-serving
 //     handler in this process and drives it directly — no sockets, so
 //     the measurement isolates the serving path. This is what the CI
 //     perf gate runs.
+//   - Sharded (-shards N): runs N shard RPC workers on TCP loopback
+//     listeners over one shared snapshot, fronted by the exact top-k
+//     merge router, and drives the router. The shard hops cross real
+//     sockets, so the report gains a prload/network entry with the
+//     measured wire bytes per query.
 //   - Live (-url): drives a running prserve over real HTTP, measuring
 //     full round-trip latency.
 //
 // Usage:
 //
 //	prload -gen twitterlike -n 50000 -queries 4000 -warmup 500 -out LOAD.json
+//	prload -gen twitterlike -n 50000 -shards 4 -queries 4000
 //	prload -url http://localhost:8080 -queries 10000 -concurrency 16
 //	prload -gen twitterlike -n 50000 -open -rate 2000 -queries 8000
 //	prload -gen twitterlike -n 20000 -mix topk=1 -ramp 4
@@ -33,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +50,7 @@ import (
 
 	"repro"
 	"repro/internal/loadgen"
+	"repro/internal/router"
 	"repro/internal/serve"
 )
 
@@ -66,6 +74,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		n        = fs.Int("n", 50000, "in-process: vertex count when generating")
 		engine   = fs.String("engine", "frogwild", "in-process: snapshot engine, frogwild|glpr|exact")
 		machines = fs.Int("machines", 16, "in-process: simulated cluster size")
+		nshards  = fs.Int("shards", 0, "sharded mode: run N shard RPC workers on TCP loopback and drive the merge router (0 = single-node in-process)")
 		seed     = fs.Uint64("seed", 1, "workload (and in-process graph/snapshot) seed")
 		queries  = fs.Int("queries", 4000, "measured query count")
 		warmup   = fs.Int("warmup", 500, "warmup queries excluded from stats")
@@ -122,10 +131,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	var target loadgen.Target
+	var rt *router.Router
 	env := map[string]string{"seed": strconv.FormatUint(*seed, 10)}
 	if *url != "" {
 		target = loadgen.HTTPTarget{BaseURL: *url, Client: &http.Client{}}
 		env["target"] = *url
+	} else if *nshards > 0 {
+		shardCtx, stopShards := context.WithCancel(ctx)
+		defer stopShards()
+		var vcount int
+		var err error
+		rt, vcount, err = buildSharded(shardCtx, *path, *cache, *genType, *n, *engine, *machines, *maxK, *seed, *nshards)
+		if err != nil {
+			fmt.Fprintf(stderr, "prload: %v\n", err)
+			return 1
+		}
+		if cfg.Vertices == 0 {
+			cfg.Vertices = vcount
+		}
+		target = loadgen.HandlerTarget{Handler: rt}
+		env["target"] = fmt.Sprintf("sharded(%d)", *nshards)
+		env["shards"] = strconv.Itoa(*nshards)
+		env["engine"] = *engine
+		env["graph"] = fmt.Sprintf("%s n=%d", *genType, vcount)
 	} else {
 		handler, vcount, err := buildInProcess(*path, *cache, *snapDir, *genType, *n, *engine, *machines, *maxK, *seed)
 		if err != nil {
@@ -161,6 +189,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		total.Errors, total.Hist.QuantileDuration(0.99))
 
 	doc := rep.BenchDoc("prload", env)
+	if rt != nil {
+		// Measured wire traffic across the shard connections. The metric
+		// names carry no "/s" suffix, so `benchreport compare` reports
+		// them without gating on them.
+		ns := rt.NetworkStats()
+		doc.Benchmarks = append(doc.Benchmarks, loadgen.BenchEntry{
+			Name:       "prload/network",
+			Iterations: int64(ns.Queries),
+			Metrics: map[string]float64{
+				"bytesPerQuery": ns.BytesPerQuery,
+				"bytesSent":     float64(ns.BytesSent),
+				"bytesRecv":     float64(ns.BytesRecv),
+			},
+		})
+		fmt.Fprintf(stderr, "prload: sharded wire traffic: %.0f bytes/query over %d queries (%d degraded, %d epoch fallbacks, %d retries)\n",
+			ns.BytesPerQuery, ns.Queries, rt.Degraded(), rt.EpochFallbacks(), rt.Retries())
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "prload: %v\n", err)
@@ -178,6 +223,63 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// buildSharded assembles the in-process sharded target: one graph and
+// one deterministic snapshot shared by N shard RPC workers, each
+// serving its HDRF partition on a TCP loopback listener, fronted by
+// the merge router. The sockets are real, so the router's byte meters
+// measure actual wire traffic per query. The workers live until ctx is
+// cancelled.
+func buildSharded(ctx context.Context, path, cache, genType string, n int, engine string, machines, maxK int, seed uint64, shards int) (*router.Router, int, error) {
+	eng, err := serve.ParseEngine(engine)
+	if err != nil {
+		return nil, 0, err
+	}
+	build := func() (*repro.Graph, error) {
+		switch {
+		case path != "":
+			return repro.LoadGraph(path)
+		case genType == "twitterlike":
+			return repro.TwitterLikeGraph(n, seed)
+		case genType == "livejournallike":
+			return repro.LiveJournalLikeGraph(n, seed)
+		}
+		return nil, fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
+	}
+	genN := 0
+	if path == "" {
+		genN = n
+	}
+	g, err := repro.CachedGraphChecked(cache, genN, build)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, err := serve.Build(g, serve.BuildConfig{
+		Engine: eng, Machines: machines, Seed: seed, MaxK: maxK,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	store := serve.NewStore()
+	store.Publish(snap)
+
+	clients := make([]*router.ShardClient, shards)
+	for i := 0; i < shards; i++ {
+		owned, err := router.OwnedVertices(g, shards, i, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		srv := router.NewShardServer(i, shards, owned, store)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, 0, err
+		}
+		go srv.Serve(ctx, ln) //nolint:errcheck // lives until ctx cancel
+		addr := ln.Addr().String()
+		clients[i] = router.NewShardClient(i, addr, router.DialTCP(addr), 5*time.Second)
+	}
+	return router.New(clients, router.Options{Timeout: 5 * time.Second}), g.NumVertices(), nil
 }
 
 // buildInProcess assembles the in-process serving handler: load or

@@ -115,6 +115,42 @@ func TestRunDeterministicSchedule(t *testing.T) {
 	}
 }
 
+// TestRunSharded drives the merge router over real TCP loopback shard
+// workers and checks the report carries the measured wire traffic
+// entry alongside the usual latency entries, with zero query errors.
+func TestRunSharded(t *testing.T) {
+	code, stdout, stderr := runCLI(t, tinyRun("-shards", "3")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var doc loadgen.BenchDoc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout)
+	}
+	if doc.Env["target"] != "sharded(3)" || doc.Env["shards"] != "3" {
+		t.Errorf("env = %v", doc.Env)
+	}
+	var network *loadgen.BenchEntry
+	for i := range doc.Benchmarks {
+		b := &doc.Benchmarks[i]
+		if b.Name == "prload/network" {
+			network = b
+		}
+		if b.Metrics["errors"] != 0 {
+			t.Errorf("%s had %v errors", b.Name, b.Metrics["errors"])
+		}
+	}
+	if network == nil {
+		t.Fatal("report missing prload/network entry")
+	}
+	if network.Metrics["bytesPerQuery"] <= 0 || network.Metrics["bytesSent"] <= 0 || network.Metrics["bytesRecv"] <= 0 {
+		t.Errorf("wire traffic not measured: %v", network.Metrics)
+	}
+	if !strings.Contains(stderr, "bytes/query") {
+		t.Errorf("no wire-traffic summary on stderr:\n%s", stderr)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
 		t.Errorf("bad flag exit %d, want 2", code)

@@ -32,6 +32,18 @@
 // serves forever (after a warm start, one background refresh still
 // replaces the restored estimate). SIGINT/SIGTERM shut the server
 // down gracefully.
+//
+// Router mode: -shards fronts a cluster of prshard workers instead of
+// serving a local snapshot. The router holds no graph; it fans every
+// query out to the shard RPC addresses, merges the partial top-k lists
+// exactly, and degrades gracefully when a shard dies or lags a
+// refresh:
+//
+//	prserve -addr :8080 -shards 127.0.0.1:9001,127.0.0.1:9002
+//
+// In router mode the graph and engine flags are unused; /v1/compare is
+// not served (the router has nothing to compare against) and /v1/stats
+// aggregates per-shard health plus measured wire bytes per query.
 package main
 
 import (
@@ -41,12 +53,42 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/router"
 	"repro/internal/serve"
 )
+
+// runRouter serves router mode: a stateless merge front over the given
+// shard RPC addresses.
+func runRouter(ctx context.Context, addr, shardList string, timeout time.Duration) {
+	addrs := strings.Split(shardList, ",")
+	clients := make([]*router.ShardClient, 0, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		id := len(clients)
+		clients = append(clients, router.NewShardClient(id, a, router.DialTCP(a), timeout))
+	}
+	if len(clients) == 0 {
+		fmt.Fprintln(os.Stderr, "prserve: -shards needs at least one address")
+		os.Exit(2)
+	}
+	rt := router.New(clients, router.Options{Timeout: timeout})
+	log.Printf("prserve: routing over %d shards, serving on %s", len(clients), addr)
+	if err := rt.Serve(ctx, addr); err != nil {
+		fmt.Fprintf(os.Stderr, "prserve: %v\n", err)
+		os.Exit(1)
+	}
+	ns := rt.NetworkStats()
+	log.Printf("prserve: graceful shutdown after %d queries (%d degraded, %d epoch fallbacks, %.0f wire bytes/query)",
+		rt.Queries(), rt.Degraded(), rt.EpochFallbacks(), ns.BytesPerQuery)
+}
 
 func main() {
 	var (
@@ -66,8 +108,16 @@ func main() {
 		maxK     = flag.Int("maxk", serve.DefaultMaxK, "precomputed top index size (queries up to this k are O(k))")
 		refresh  = flag.Duration("refresh", 0, "background recompute cadence (0 = serve the initial snapshot forever)")
 		seed     = flag.Uint64("seed", 1, "base seed; each refresh derives generation seeds from it")
+		shards   = flag.String("shards", "", "router mode: comma-separated prshard RPC addresses to fan queries out to")
+		shardTO  = flag.Duration("shard-timeout", 2*time.Second, "router mode: per-shard RPC timeout (each query retries once on a fresh connection)")
 	)
 	flag.Parse()
+	if *shards != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		runRouter(ctx, *addr, *shards, *shardTO)
+		return
+	}
 	if *engWork < 0 {
 		fmt.Fprintf(os.Stderr, "prserve: -engine-workers must be >= 0, got %d\n", *engWork)
 		flag.Usage()

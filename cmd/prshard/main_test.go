@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/router"
+	"repro/internal/serve"
+)
+
+// TestPrshardClusterMatchesSingleNode boots a real 2-shard cluster
+// through the CLI entry point (TCP listeners on ephemeral ports),
+// fronts it with a router, and checks the merged answers are
+// byte-identical to a single-node server over the same deterministic
+// snapshot — then shuts everything down gracefully.
+func TestPrshardClusterMatchesSingleNode(t *testing.T) {
+	const (
+		shards = 2
+		n      = 3000
+		seed   = 1
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrs := make([]chan string, shards)
+	exits := make([]chan int, shards)
+	for i := 0; i < shards; i++ {
+		addrs[i] = make(chan string, 1)
+		exits[i] = make(chan int, 1)
+		args := []string{
+			"-addr", "127.0.0.1:0",
+			"-shard", fmt.Sprint(i), "-shards", fmt.Sprint(shards),
+			"-gen", "twitterlike", "-n", fmt.Sprint(n),
+			"-engine", "exact", "-seed", fmt.Sprint(seed),
+		}
+		ch := addrs[i]
+		ex := exits[i]
+		go func() { ex <- run(ctx, args, io.Discard, func(a string) { ch <- a }) }()
+	}
+	clients := make([]*router.ShardClient, shards)
+	for i, ch := range addrs {
+		select {
+		case addr := <-ch:
+			clients[i] = router.NewShardClient(i, addr, router.DialTCP(addr), 5*time.Second)
+		case <-time.After(60 * time.Second):
+			t.Fatalf("shard %d did not come up", i)
+		}
+	}
+	rt := router.New(clients, router.Options{})
+
+	g, err := repro.TwitterLikeGraph(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := serve.Build(g, serve.BuildConfig{
+		Engine: serve.EngineExact, Machines: 16, Seed: seed, MaxK: serve.DefaultMaxK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := serve.NewStore()
+	store.Publish(snap)
+	single := serve.NewServer(store, serve.ServerOptions{})
+
+	get := func(h http.Handler, url string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec.Code, rec.Body.String()
+	}
+	for _, url := range []string{"/v1/topk?k=15", "/v1/topk?k=100", "/v1/rank?vertex=42"} {
+		sc, sb := get(single, url)
+		rc, rb := get(rt, url)
+		if sc != http.StatusOK || rc != http.StatusOK {
+			t.Fatalf("%s: status single=%d router=%d (%s)", url, sc, rc, rb)
+		}
+		if sb != rb {
+			t.Fatalf("%s: cluster body diverged from single-node\nsingle: %.200s\nrouter: %.200s", url, sb, rb)
+		}
+	}
+	if ns := rt.NetworkStats(); ns.BytesSent == 0 || ns.BytesRecv == 0 {
+		t.Fatalf("no wire bytes metered: %+v", ns)
+	}
+
+	cancel()
+	for i, ex := range exits {
+		select {
+		case code := <-ex:
+			if code != 0 {
+				t.Fatalf("shard %d exited %d", i, code)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shard %d did not shut down", i)
+		}
+	}
+}
+
+// TestPrshardUsageErrors pins the exit-code contract for bad flags.
+func TestPrshardUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-shard", "3", "-shards", "2", "-gen", "twitterlike"},
+		{"-shards", "0", "-gen", "twitterlike"},
+		{"-engine", "nope", "-gen", "twitterlike"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if code := run(context.Background(), args, io.Discard, nil); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// DialFunc opens one connection to a shard. TCP deployments use
+// DialTCP; tests return one end of a net.Pipe whose other end is
+// handled by ShardServer.ServeConn.
+type DialFunc func() (net.Conn, error)
+
+// DialTCP returns a DialFunc for a live shard address.
+func DialTCP(addr string) DialFunc {
+	return func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 2*time.Second)
+	}
+}
+
+// PipeDialer returns a DialFunc that connects straight to srv through
+// an in-memory net.Pipe — the deterministic in-process transport the
+// router tests run on.
+func PipeDialer(srv *ShardServer) DialFunc {
+	return func() (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		go func() {
+			defer c2.Close()
+			srv.ServeConn(c2) //nolint:errcheck // per-conn errors end that conn only
+		}()
+		return c1, nil
+	}
+}
+
+// maxIdleConns bounds each shard's idle connection pool; excess
+// connections close instead of accumulating.
+const maxIdleConns = 16
+
+// ShardClient is the router's handle on one shard: a small pool of
+// persistent connections, a per-request deadline, one retry on a fresh
+// connection after a transport error, and byte counters for every
+// frame crossing the wire.
+type ShardClient struct {
+	id      int
+	addr    string
+	dial    DialFunc
+	timeout time.Duration
+
+	idle chan net.Conn
+
+	sent    atomic.Int64
+	recv    atomic.Int64
+	calls   atomic.Uint64
+	retries atomic.Uint64
+}
+
+// NewShardClient builds a client for shard id reachable through dial.
+// addr is informational (health and stats bodies). timeout bounds each
+// RPC round trip; 0 selects 2s.
+func NewShardClient(id int, addr string, dial DialFunc, timeout time.Duration) *ShardClient {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &ShardClient{
+		id: id, addr: addr, dial: dial, timeout: timeout,
+		idle: make(chan net.Conn, maxIdleConns),
+	}
+}
+
+// ID returns the shard id this client talks to.
+func (c *ShardClient) ID() int { return c.id }
+
+// Addr returns the shard's display address.
+func (c *ShardClient) Addr() string { return c.addr }
+
+// BytesSent and BytesRecv return the total wire bytes this client has
+// moved (length prefixes included).
+func (c *ShardClient) BytesSent() int64 { return c.sent.Load() }
+func (c *ShardClient) BytesRecv() int64 { return c.recv.Load() }
+
+// Retries returns how many RPCs needed a second attempt.
+func (c *ShardClient) Retries() uint64 { return c.retries.Load() }
+
+// Close drains the idle pool. In-flight calls finish on their own
+// connections.
+func (c *ShardClient) Close() {
+	for {
+		select {
+		case conn := <-c.idle:
+			conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// get checks out an idle connection or dials a fresh one.
+func (c *ShardClient) get() (net.Conn, error) {
+	select {
+	case conn := <-c.idle:
+		return conn, nil
+	default:
+		return c.dial()
+	}
+}
+
+// put returns a healthy connection to the pool (or closes it when the
+// pool is full).
+func (c *ShardClient) put(conn net.Conn) {
+	select {
+	case c.idle <- conn:
+	default:
+		conn.Close()
+	}
+}
+
+// call performs one RPC: request out, response in, deadline-bounded,
+// with one retry on a fresh connection after any transport error (a
+// pooled connection may have died while idle, so the first failure is
+// ambiguous; the second is real).
+func (c *ShardClient) call(req request) (response, error) {
+	c.calls.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		conn, err := c.get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.roundTrip(conn, req)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		c.put(conn)
+		if resp.Code == "" && resp.V != req.V {
+			return response{}, fmt.Errorf("shard %d answered wire version %d, want %d", c.id, resp.V, req.V)
+		}
+		return resp, nil
+	}
+	return response{}, fmt.Errorf("shard %d (%s): %w", c.id, c.addr, lastErr)
+}
+
+// roundTrip runs one request/response exchange on conn under the
+// client deadline, metering both directions.
+func (c *ShardClient) roundTrip(conn net.Conn, req request) (response, error) {
+	if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return response{}, err
+	}
+	bw := bufio.NewWriter(conn)
+	n, err := writeFrame(bw, req)
+	if err == nil {
+		err = bw.Flush()
+	}
+	c.sent.Add(int64(n))
+	if err != nil {
+		return response{}, err
+	}
+	var resp response
+	n, err = readFrame(bufio.NewReader(conn), &resp)
+	c.recv.Add(int64(n))
+	if err != nil {
+		return response{}, err
+	}
+	// Clear the deadline so a pooled connection does not expire idle.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return response{}, err
+	}
+	return resp, nil
+}

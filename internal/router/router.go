@@ -1,0 +1,508 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/serve/api"
+	"repro/internal/topk"
+)
+
+// maxCachedK bounds the last-good fallback caches, mirroring the
+// single-node server's body cache bound: an adversarial parameter
+// sweep cannot grow them without limit.
+const (
+	maxCachedK    = 4096
+	maxCachedRank = 1 << 16
+)
+
+// Options tunes a Router.
+type Options struct {
+	// Timeout bounds each per-shard RPC (0 selects 2s). A query's worst
+	// case is 2x this (retry) plus one epoch-fallback round.
+	Timeout time.Duration
+}
+
+// Router is the stateless HTTP front of a shard cluster. It serves the
+// same /v1 query API as the single-node server — a healthy sharded
+// top-k response is byte-identical to the single-node body for the
+// same snapshot epoch — by fanning every query out to all shards and
+// merging the partial results exactly via internal/topk's total order.
+//
+// Failure semantics, in order of preference:
+//
+//  1. All shards answer at one epoch: exact answer, that epoch.
+//  2. Shards straddle a refresh: the query re-runs pinned to the
+//     oldest current epoch (every shard retains its previous snapshot,
+//     so the laggard's epoch is still answerable cluster-wide). The
+//     answer is exact for that older epoch.
+//  3. A shard is unreachable (after its timeout and retry) or the
+//     pinned epoch is gone: the last complete merged answer for the
+//     same query is served, marked "degraded": true, at its (stale)
+//     epoch.
+//  4. No fallback answer is cached: 503 with the shared error
+//     envelope, code "unavailable".
+type Router struct {
+	clients []*ShardClient
+	mux     *http.ServeMux
+	timeout time.Duration
+
+	queries        atomic.Uint64
+	degraded       atomic.Uint64
+	epochFallbacks atomic.Uint64
+
+	// Last-good caches backing failure mode 3. Bounded; keyed by query
+	// parameter.
+	mu       sync.Mutex
+	lastTopK map[int]api.TopKResponse
+	lastRank map[uint32]api.RankResponse
+
+	httpMu   sync.Mutex
+	listener net.Listener
+}
+
+// New builds a router over the given shard clients.
+func New(clients []*ShardClient, opts Options) *Router {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	rt := &Router{
+		clients:  clients,
+		timeout:  timeout,
+		lastTopK: make(map[int]api.TopKResponse),
+		lastRank: make(map[uint32]api.RankResponse),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/topk", rt.get(rt.handleTopK))
+	mux.HandleFunc("/v1/rank", rt.get(rt.handleRank))
+	mux.HandleFunc("/v1/compare", rt.get(rt.handleCompare))
+	mux.HandleFunc("/v1/stats", rt.get(rt.handleStats))
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux = mux
+	return rt
+}
+
+// ServeHTTP implements http.Handler, so the load generator and tests
+// can drive the router in-process exactly like the single-node server.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Queries returns the total routed query count.
+func (rt *Router) Queries() uint64 { return rt.queries.Load() }
+
+// Degraded returns how many responses were served from the last-good
+// cache because the cluster could not produce a fresh exact answer.
+func (rt *Router) Degraded() uint64 { return rt.degraded.Load() }
+
+// EpochFallbacks returns how many queries re-ran pinned to an older
+// epoch because the shards straddled a refresh.
+func (rt *Router) EpochFallbacks() uint64 { return rt.epochFallbacks.Load() }
+
+// Retries returns the total per-shard RPC retries after transport
+// errors, summed across all clients.
+func (rt *Router) Retries() uint64 { return rt.sumRetries() }
+
+// NetworkStats reports measured wire traffic across all shard
+// connections, averaged per routed query.
+func (rt *Router) NetworkStats() api.NetworkStats {
+	var ns api.NetworkStats
+	ns.Queries = rt.queries.Load()
+	for _, c := range rt.clients {
+		ns.BytesSent += c.BytesSent()
+		ns.BytesRecv += c.BytesRecv()
+	}
+	if ns.Queries > 0 {
+		ns.BytesPerQuery = float64(ns.BytesSent+ns.BytesRecv) / float64(ns.Queries)
+	}
+	return ns
+}
+
+// Meter renders the measured traffic as an internal/cluster machine
+// meter — the same instrument the simulated engine uses, now fed by
+// real wire bytes: query fan-out is scatter-style signal traffic,
+// partial results coming back are gather traffic.
+func (rt *Router) Meter() cluster.MachineMeter {
+	var m cluster.MachineMeter
+	for _, c := range rt.clients {
+		m.Send(cluster.TrafficSignal, c.BytesSent())
+		m.Recv(cluster.TrafficGather, c.BytesRecv())
+	}
+	return m
+}
+
+// get wraps a handler with method filtering and query counting.
+func (rt *Router) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			serve.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, 0, "use GET")
+			return
+		}
+		rt.queries.Add(1)
+		h(w, r)
+	}
+}
+
+// reply writes a marshaled JSON body.
+func (rt *Router) reply(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		serve.WriteError(w, http.StatusInternalServerError, api.CodeInternal, 0, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// shardResult pairs one shard's answer with its transport error.
+type shardResult struct {
+	resp response
+	err  error
+}
+
+// ok reports a usable answer (transport succeeded, shard raised no
+// error code).
+func (r shardResult) ok() bool { return r.err == nil && r.resp.Code == "" }
+
+// fanout sends req to every shard concurrently and collects all
+// answers, indexed by shard position.
+func (rt *Router) fanout(req request) []shardResult {
+	results := make([]shardResult, len(rt.clients))
+	var wg sync.WaitGroup
+	for i, c := range rt.clients {
+		wg.Add(1)
+		go func(i int, c *ShardClient) {
+			defer wg.Done()
+			resp, err := c.call(req)
+			results[i] = shardResult{resp: resp, err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	return results
+}
+
+// shardErr summarizes the first failed result for error bodies.
+func shardErr(results []shardResult) error {
+	for i, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		if r.resp.Code != "" {
+			return fmt.Errorf("shard %d: %s: %s", i, r.resp.Code, r.resp.Err)
+		}
+	}
+	return errors.New("no failure")
+}
+
+// consistentTopK gathers partial top-k lists at one consistent epoch,
+// re-issuing pinned queries when shards straddle a refresh. It returns
+// the merged exact response, or an error when any shard cannot
+// contribute.
+func (rt *Router) consistentTopK(k int) (api.TopKResponse, error) {
+	results := rt.fanout(request{V: api.Version, Op: opTopK, K: k})
+	for _, r := range results {
+		if !r.ok() {
+			return api.TopKResponse{}, shardErr(results)
+		}
+	}
+	// Epoch agreement: serve the oldest current epoch, so a refresh
+	// rolling across the cluster never produces a Frankenstein merge of
+	// two estimates.
+	target := results[0].resp.Epoch
+	mixed := false
+	for _, r := range results[1:] {
+		if r.resp.Epoch != target {
+			mixed = true
+			if r.resp.Epoch < target {
+				target = r.resp.Epoch
+			}
+		}
+	}
+	if mixed {
+		rt.epochFallbacks.Add(1)
+		pinned := request{V: api.Version, Op: opTopK, K: k, Epoch: target}
+		for i := range results {
+			if results[i].resp.Epoch == target {
+				continue
+			}
+			r := shardResult{}
+			r.resp, r.err = rt.clients[i].call(pinned)
+			if !r.ok() || r.resp.Epoch != target {
+				results[i] = r
+				return api.TopKResponse{}, shardErr(results)
+			}
+			results[i] = r
+		}
+	}
+	lists := make([][]topk.Entry, len(results))
+	for i, r := range results {
+		entries := make([]topk.Entry, len(r.resp.Entries))
+		for j, e := range r.resp.Entries {
+			entries[j] = topk.Entry{Vertex: e.Vertex, Score: e.Score}
+		}
+		lists[i] = entries
+	}
+	merged := topk.Merge(lists, k)
+	rows := make([]api.TopKEntry, len(merged))
+	for i, e := range merged {
+		rows[i] = api.TopKEntry{Vertex: e.Vertex, Score: e.Score}
+	}
+	return api.TopKResponse{
+		Epoch:   target,
+		Engine:  results[0].resp.Engine,
+		Seed:    results[0].resp.Seed,
+		K:       len(rows),
+		Entries: rows,
+	}, nil
+}
+
+func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k, err := parsePositiveInt(r.URL.Query().Get("k"), 20)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, 0, "bad k: %v", err)
+		return
+	}
+	resp, err := rt.consistentTopK(k)
+	if err == nil {
+		if k <= maxCachedK {
+			rt.mu.Lock()
+			rt.lastTopK[k] = resp
+			rt.mu.Unlock()
+		}
+		rt.reply(w, resp)
+		return
+	}
+	// Degraded path: the last complete merge for this k, at its stale
+	// epoch, beats an error while a shard is down.
+	rt.mu.Lock()
+	cached, ok := rt.lastTopK[k]
+	rt.mu.Unlock()
+	if !ok {
+		serve.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable, 0,
+			"shard cluster unavailable and no cached answer for k=%d: %v", k, err)
+		return
+	}
+	rt.degraded.Add(1)
+	cached.Degraded = true
+	rt.reply(w, cached)
+}
+
+func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("vertex")
+	if raw == "" {
+		serve.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, 0, "missing vertex parameter")
+		return
+	}
+	v64, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, 0, "bad vertex: %v", err)
+		return
+	}
+	v := uint32(v64)
+	results := rt.fanout(request{V: api.Version, Op: opRank, Vertex: v})
+	allOK := true
+	var maxEpoch uint64
+	for _, res := range results {
+		if !res.ok() {
+			allOK = false
+			continue
+		}
+		if res.resp.Epoch > maxEpoch {
+			maxEpoch = res.resp.Epoch
+		}
+		if res.resp.Owned {
+			resp := api.RankResponse{
+				Epoch:  res.resp.Epoch,
+				Engine: res.resp.Engine,
+				Vertex: v,
+				Rank:   res.resp.Rank,
+			}
+			rt.mu.Lock()
+			if len(rt.lastRank) < maxCachedRank {
+				rt.lastRank[v] = resp
+			}
+			rt.mu.Unlock()
+			rt.reply(w, resp)
+			return
+		}
+	}
+	if allOK {
+		// Every shard answered and none owns the vertex: it does not
+		// exist in the graph.
+		serve.WriteError(w, http.StatusNotFound, api.CodeNotFound, maxEpoch,
+			"vertex %d not owned by any of %d shards", v, len(results))
+		return
+	}
+	// The owner may be among the failed shards: degraded fallback.
+	rt.mu.Lock()
+	cached, ok := rt.lastRank[v]
+	rt.mu.Unlock()
+	if !ok {
+		serve.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable, maxEpoch,
+			"shard cluster unavailable and no cached rank for vertex %d: %v", v, shardErr(results))
+		return
+	}
+	rt.degraded.Add(1)
+	cached.Degraded = true
+	rt.reply(w, cached)
+}
+
+func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
+	// Compare runs a full reference engine over the graph; the router
+	// is stateless by design and holds no graph. Clients run compares
+	// against a shard-side single-node server (or offline).
+	serve.WriteError(w, http.StatusNotImplemented, api.CodeUnsupported, 0,
+		"compare is not available on the router: it holds no graph; run it against a single-node server")
+}
+
+// probe fans the status op out and derives the cluster view shared by
+// stats and health: per-shard rows, the freshest epoch anywhere, and
+// the oldest epoch among live shards (the consistent serving floor).
+func (rt *Router) probe() (rows []api.ShardStatus, maxEpoch, minEpoch uint64, engine api.Engine, seed uint64, healthy bool) {
+	results := rt.fanout(request{V: api.Version, Op: opStatus})
+	rows = make([]api.ShardStatus, len(results))
+	healthy = true
+	first := true
+	for i, r := range results {
+		row := api.ShardStatus{ID: rt.clients[i].ID(), Addr: rt.clients[i].Addr()}
+		if !r.ok() {
+			row.OK = false
+			row.Error = shardErr(results[i : i+1]).Error()
+			healthy = false
+		} else {
+			row.OK = true
+			row.Epoch = r.resp.Epoch
+			row.Owned = r.resp.OwnedCount
+			if r.resp.Epoch > maxEpoch {
+				maxEpoch = r.resp.Epoch
+			}
+			if first || r.resp.Epoch < minEpoch {
+				minEpoch = r.resp.Epoch
+				first = false
+			}
+			if engine == "" {
+				engine, seed = r.resp.Engine, r.resp.Seed
+			}
+		}
+		rows[i] = row
+	}
+	// A shard lagging the freshest epoch is degraded: answers are
+	// consistent but stale until its refresh lands.
+	for _, row := range rows {
+		if row.OK && row.Epoch < maxEpoch {
+			healthy = false
+		}
+	}
+	return rows, maxEpoch, minEpoch, engine, seed, healthy
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rows, _, minEpoch, engine, seed, _ := rt.probe()
+	rt.reply(w, api.RouterStatsResponse{
+		Epoch:  minEpoch,
+		Engine: engine,
+		Seed:   seed,
+		Shards: rows,
+		Serving: api.RouterStats{
+			Queries:        rt.queries.Load(),
+			Degraded:       rt.degraded.Load(),
+			Retries:        rt.sumRetries(),
+			EpochFallbacks: rt.epochFallbacks.Load(),
+		},
+		Network: rt.NetworkStats(),
+	})
+}
+
+func (rt *Router) sumRetries() uint64 {
+	var total uint64
+	for _, c := range rt.clients {
+		total += c.Retries()
+	}
+	return total
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rows, _, minEpoch, _, _, healthy := rt.probe()
+	status := "ok"
+	code := http.StatusOK
+	if !healthy {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	body, err := json.Marshal(api.HealthResponse{Status: status, Epoch: minEpoch, Shards: rows})
+	if err != nil {
+		serve.WriteError(w, http.StatusInternalServerError, api.CodeInternal, 0, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+// Serve listens on addr and serves the router API until ctx is
+// cancelled, then shuts down gracefully.
+func (rt *Router) Serve(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	rt.httpMu.Lock()
+	rt.listener = ln
+	rt.httpMu.Unlock()
+	srv := &http.Server{Handler: rt.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// Addr returns the bound listen address once Serve is up ("" before).
+func (rt *Router) Addr() string {
+	rt.httpMu.Lock()
+	defer rt.httpMu.Unlock()
+	if rt.listener == nil {
+		return ""
+	}
+	return rt.listener.Addr().String()
+}
+
+// parsePositiveInt parses a strictly positive integer, returning def
+// for the empty string (the single-node server's exact semantics, so
+// both planes reject the same inputs).
+func parsePositiveInt(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("must be positive, got %d", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,222 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/serve/api"
+	"repro/internal/topk"
+)
+
+// OwnedVertices computes the deterministic vertex partition served by
+// shard id out of shards total: the vertices whose master replica an
+// HDRF vertex-cut layout (seeded with seed) puts on machine id, plus
+// the isolated vertices — which no machine hosts, since they have no
+// edges — spread round-robin. Every shard of a cluster computes the
+// same layout from the same (graph, shards, seed), so the partition is
+// agreed without any coordination, and the shard ownership sets are
+// disjoint and cover the whole vertex space — the property that makes
+// the merged partial top-k exact.
+func OwnedVertices(g *graph.Graph, shards, id int, seed uint64) ([]uint32, error) {
+	if shards < 1 {
+		return nil, errors.New("router: shard count must be >= 1")
+	}
+	if id < 0 || id >= shards {
+		return nil, errors.New("router: shard id out of range")
+	}
+	lay, err := cluster.NewLayout(g, shards, cluster.HDRF{}, seed)
+	if err != nil {
+		return nil, err
+	}
+	owned := append([]uint32(nil), lay.View(id).Masters()...)
+	for v := 0; v < g.NumVertices(); v++ {
+		if len(lay.Presences(graph.VertexID(v))) == 0 && v%shards == id {
+			owned = append(owned, uint32(v))
+		}
+	}
+	sort.Slice(owned, func(i, j int) bool { return owned[i] < owned[j] })
+	return owned, nil
+}
+
+// ShardServer answers partial queries over the vertices it owns, from
+// whatever snapshot its Store currently publishes. It retains the
+// previous snapshot alongside the current one, so a router whose other
+// shards lag a refresh can re-ask this shard at the older epoch and
+// still get a consistent answer (the stale-epoch fallback).
+type ShardServer struct {
+	id     int
+	shards int
+	owned  []uint32
+	store  *serve.Store
+
+	// mu guards the cur/prev retention ring, updated lazily as the
+	// store publishes new snapshots.
+	mu   sync.Mutex
+	cur  *serve.Snapshot
+	prev *serve.Snapshot
+
+	queries atomic.Uint64
+}
+
+// NewShardServer builds a shard over its owned vertex set (as computed
+// by OwnedVertices, sorted ascending) and the store publishing its
+// snapshots.
+func NewShardServer(id, shards int, owned []uint32, store *serve.Store) *ShardServer {
+	return &ShardServer{id: id, shards: shards, owned: owned, store: store}
+}
+
+// ID returns the shard's id.
+func (s *ShardServer) ID() int { return s.id }
+
+// OwnedCount returns the number of vertices this shard masters.
+func (s *ShardServer) OwnedCount() int { return len(s.owned) }
+
+// Queries returns how many RPC requests the shard has answered.
+func (s *ShardServer) Queries() uint64 { return s.queries.Load() }
+
+// track refreshes the retention ring against the store and returns the
+// current and previous snapshots.
+func (s *ShardServer) track() (cur, prev *serve.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.store.Current(); c != s.cur {
+		s.prev, s.cur = s.cur, c
+	}
+	return s.cur, s.prev
+}
+
+// snapshotFor resolves the requested epoch: 0 means current, the
+// previous epoch is served from the retention ring, anything else is
+// gone (nil).
+func (s *ShardServer) snapshotFor(epoch uint64) *serve.Snapshot {
+	cur, prev := s.track()
+	switch {
+	case cur == nil:
+		return nil
+	case epoch == 0 || epoch == cur.Epoch:
+		return cur
+	case prev != nil && epoch == prev.Epoch:
+		return prev
+	}
+	return nil
+}
+
+// owns reports whether vertex v is mastered by this shard.
+func (s *ShardServer) owns(v uint32) bool {
+	i := sort.Search(len(s.owned), func(i int) bool { return s.owned[i] >= v })
+	return i < len(s.owned) && s.owned[i] == v
+}
+
+// handle answers one RPC request.
+func (s *ShardServer) handle(req request) response {
+	if req.V != api.Version {
+		return errResponse(s.id, api.CodeVersionMismatch,
+			"shard speaks wire version %d, router sent %d", api.Version, req.V)
+	}
+	s.queries.Add(1)
+	switch req.Op {
+	case opTopK:
+		if req.K <= 0 {
+			return errResponse(s.id, api.CodeBadRequest, "k must be positive, got %d", req.K)
+		}
+		snap := s.snapshotFor(req.Epoch)
+		if snap == nil {
+			return errResponse(s.id, api.CodeNoSnapshot, "no snapshot for epoch %d", req.Epoch)
+		}
+		part := topk.Subset(snap.Ranks, s.owned, req.K)
+		entries := make([]api.TopKEntry, len(part))
+		for i, e := range part {
+			entries[i] = api.TopKEntry{Vertex: e.Vertex, Score: e.Score}
+		}
+		return response{
+			V: api.Version, Shard: s.id,
+			Epoch: snap.Epoch, Engine: snap.Engine, Seed: snap.Seed,
+			Entries: entries,
+		}
+	case opRank:
+		snap := s.snapshotFor(req.Epoch)
+		if snap == nil {
+			return errResponse(s.id, api.CodeNoSnapshot, "no snapshot for epoch %d", req.Epoch)
+		}
+		resp := response{
+			V: api.Version, Shard: s.id,
+			Epoch: snap.Epoch, Engine: snap.Engine, Seed: snap.Seed,
+		}
+		if s.owns(req.Vertex) && int(req.Vertex) < len(snap.Ranks) {
+			resp.Owned = true
+			resp.Rank = snap.Ranks[req.Vertex]
+		}
+		return resp
+	case opStatus:
+		cur, _ := s.track()
+		resp := response{
+			V: api.Version, Shard: s.id,
+			OwnedCount: len(s.owned), Queries: s.queries.Load(),
+		}
+		if cur != nil {
+			resp.Epoch, resp.Engine, resp.Seed = cur.Epoch, cur.Engine, cur.Seed
+		}
+		return resp
+	}
+	return errResponse(s.id, api.CodeBadRequest, "unknown op %q", req.Op)
+}
+
+// ServeConn answers frames on one connection until it closes. The
+// caller owns the connection's lifetime; a decode failure terminates
+// the connection (the peer will redial) rather than risking a
+// desynchronized frame stream.
+func (s *ShardServer) ServeConn(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var req request
+		if _, err := readFrame(br, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if _, err := writeFrame(bw, s.handle(req)); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// Serve accepts connections on ln until ctx is cancelled, answering
+// each on its own goroutine. It returns nil on a ctx-triggered stop.
+func (s *ShardServer) Serve(ctx context.Context, ln net.Listener) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			s.ServeConn(conn) //nolint:errcheck // per-conn errors end that conn only
+		}()
+	}
+}

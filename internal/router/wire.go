@@ -1,0 +1,125 @@
+// Package router is the sharded serving plane: ShardServer owns one
+// HDRF partition of the vertex space and answers partial top-k/rank
+// queries over a small length-prefixed RPC protocol; Router is the
+// stateless HTTP front that fans a query out to every shard, merges
+// the partial top-k lists exactly through internal/topk's total order,
+// and degrades gracefully — per-shard timeout and retry, a consistent
+// older epoch when shards straddle a refresh, and last-good cached
+// answers when a shard is down — instead of failing queries.
+//
+// The transport is pluggable (any net.Conn): tests drive shards over
+// net.Pipe for determinism, deployments over TCP. Every byte crossing
+// a shard connection is counted, so the paper's inter-machine traffic
+// claims are measured on a real wire (Router.Meter exposes the counts
+// as an internal/cluster machine meter).
+package router
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/serve/api"
+)
+
+// RPC operations. One status op serves both health checks and stats
+// aggregation: shard liveness, epoch and counters come back in a
+// single frame.
+const (
+	opTopK   = "topk"
+	opRank   = "rank"
+	opStatus = "status"
+)
+
+// maxFrame bounds one frame's payload so a corrupt or hostile length
+// prefix cannot drive a giant allocation (same discipline as
+// internal/secfile's schema-bounded sections).
+const maxFrame = 1 << 26
+
+// request is one RPC query. V carries the shared wire version
+// (api.Version); a shard refuses mismatched requests, so a
+// mixed-version cluster fails loudly at the first query.
+type request struct {
+	V  int    `json:"v"`
+	Op string `json:"op"`
+	// K is the partial top-k size (opTopK).
+	K int `json:"k,omitempty"`
+	// Vertex is the rank query target (opRank).
+	Vertex uint32 `json:"vertex,omitempty"`
+	// Epoch pins the snapshot to answer from; 0 means the shard's
+	// current. The router sets it when re-issuing a query at an older
+	// epoch because the shards straddle a refresh.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// response is one RPC answer. Code/Err report shard-side failure using
+// the shared api error vocabulary; all other fields are op-specific.
+type response struct {
+	V     int    `json:"v"`
+	Shard int    `json:"shard"`
+	Code  string `json:"code,omitempty"`
+	Err   string `json:"error,omitempty"`
+	// Epoch is the snapshot epoch the answer was computed from.
+	Epoch  uint64     `json:"epoch,omitempty"`
+	Engine api.Engine `json:"engine,omitempty"`
+	Seed   uint64     `json:"seed,omitempty"`
+	// Entries is the shard's partial top-k over its owned vertices
+	// (opTopK), sorted in topk's total order.
+	Entries []api.TopKEntry `json:"entries,omitempty"`
+	// Owned and Rank answer opRank: Owned says whether this shard
+	// masters the vertex (exactly one shard does).
+	Owned bool    `json:"owned,omitempty"`
+	Rank  float64 `json:"rank,omitempty"`
+	// OwnedCount and Queries answer opStatus.
+	OwnedCount int    `json:"ownedCount,omitempty"`
+	Queries    uint64 `json:"queries,omitempty"`
+}
+
+// errResponse builds a shard-side failure answer.
+func errResponse(shard int, code, format string, args ...any) response {
+	return response{V: api.Version, Shard: shard, Code: code, Err: fmt.Sprintf(format, args...)}
+}
+
+// writeFrame marshals v and writes one length-prefixed frame,
+// returning the total bytes put on the wire (prefix included): the
+// number the traffic meters record.
+func writeFrame(w io.Writer, v any) (int, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > maxFrame {
+		return 0, fmt.Errorf("router: frame %d bytes exceeds limit %d", len(payload), maxFrame)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return len(prefix), err
+	}
+	return len(prefix) + len(payload), nil
+}
+
+// readFrame reads one length-prefixed frame into v, returning the
+// total bytes taken off the wire.
+func readFrame(r io.Reader, v any) (int, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > maxFrame {
+		return len(prefix), fmt.Errorf("router: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return len(prefix), fmt.Errorf("router: short frame: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return len(prefix) + int(n), fmt.Errorf("router: frame decode: %w", err)
+	}
+	return len(prefix) + int(n), nil
+}

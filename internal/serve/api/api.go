@@ -1,0 +1,199 @@
+// Package api is the versioned wire schema of the query service: every
+// JSON body the single-node server, the sharded router, the shard RPC
+// codec and the load generator's decoder exchange is defined here, once
+// — the same discipline internal/benchfmt applies to the benchmark
+// reports. Producer and consumer alias these types instead of
+// re-declaring inline structs, so the two sides of the wire cannot
+// drift apart silently.
+//
+// Version gates compatibility: the shard RPC handshake carries it and
+// a shard refuses requests from a router speaking a different version,
+// so a mixed-version cluster fails loudly at the first query instead of
+// mis-decoding frames.
+package api
+
+import "time"
+
+// Version is the wire-protocol generation. Bump it when a change to the
+// types below is not backward compatible (removed field, changed
+// meaning); additions with `omitempty` are compatible and do not bump.
+const Version = 1
+
+// Engine names an estimate producer a snapshot can be built from. The
+// serving layer aliases this type, so the engine names on the wire and
+// in build configuration are one vocabulary.
+type Engine string
+
+// TopKEntry is one result row of a top-k query.
+type TopKEntry struct {
+	Vertex uint32  `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// TopKResponse is the /v1/topk body. Degraded is set only by the
+// router, when a shard failure forced the answer to be served from the
+// last complete merge (at its — possibly stale — epoch); a healthy
+// sharded response is byte-identical to the single-node one.
+type TopKResponse struct {
+	Epoch    uint64      `json:"epoch"`
+	Engine   Engine      `json:"engine"`
+	Seed     uint64      `json:"seed"`
+	K        int         `json:"k"`
+	Entries  []TopKEntry `json:"entries"`
+	Degraded bool        `json:"degraded,omitempty"`
+}
+
+// RankResponse is the /v1/rank body.
+type RankResponse struct {
+	Epoch    uint64  `json:"epoch"`
+	Engine   Engine  `json:"engine"`
+	Vertex   uint32  `json:"vertex"`
+	Rank     float64 `json:"rank"`
+	Degraded bool    `json:"degraded,omitempty"`
+}
+
+// CompareResponse is the /v1/compare body: the served estimate's
+// accuracy metrics against another engine run on the same graph, with
+// the comparison engine treated as the reference.
+type CompareResponse struct {
+	Epoch               uint64  `json:"epoch"`
+	Engine              Engine  `json:"engine"`
+	Against             Engine  `json:"against"`
+	K                   int     `json:"k"`
+	CapturedMass        float64 `json:"capturedMass"`
+	NormalizedMass      float64 `json:"normalizedMass"`
+	ExactIdentification float64 `json:"exactIdentification"`
+	L1Distance          float64 `json:"l1Distance"`
+}
+
+// GraphStats summarizes the served graph's degree structure.
+type GraphStats struct {
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	MinOutDeg int     `json:"minOutDeg"`
+	MaxOutDeg int     `json:"maxOutDeg"`
+	MaxInDeg  int     `json:"maxInDeg"`
+	MeanDeg   float64 `json:"meanDeg"`
+	GiniOut   float64 `json:"giniOut"`
+}
+
+// ServeStats counts one server's query-path activity.
+type ServeStats struct {
+	Queries          uint64 `json:"queries"`
+	TopKCacheHits    uint64 `json:"topkCacheHits"`
+	CompareCacheHits uint64 `json:"compareCacheHits"`
+	Coalesced        uint64 `json:"coalesced"`
+	Refreshes        uint64 `json:"refreshes"`
+	BuildErrors      uint64 `json:"buildErrors"`
+}
+
+// StatsResponse is the single-node /v1/stats body.
+type StatsResponse struct {
+	Epoch        uint64     `json:"epoch"`
+	Engine       Engine     `json:"engine"`
+	Seed         uint64     `json:"seed"`
+	BuiltAt      time.Time  `json:"builtAt"`
+	BuildSeconds float64    `json:"buildSeconds"`
+	MaxK         int        `json:"maxK"`
+	Graph        GraphStats `json:"graph"`
+	Serving      ServeStats `json:"serving"`
+}
+
+// ShardStatus is one shard's row in router health and stats bodies.
+type ShardStatus struct {
+	ID    int    `json:"id"`
+	Addr  string `json:"addr,omitempty"`
+	Epoch uint64 `json:"epoch"`
+	// Owned is the number of vertices the shard masters.
+	Owned int  `json:"owned,omitempty"`
+	OK    bool `json:"ok"`
+	// Error carries the dial/RPC failure when OK is false.
+	Error string `json:"error,omitempty"`
+}
+
+// HealthResponse is the /healthz body. The single-node server reports
+// no shards; the router lists every shard with its epoch so a lagging
+// or dead shard is visible, and Status is "degraded" (with HTTP 503)
+// whenever any shard is down or behind the freshest epoch.
+type HealthResponse struct {
+	Status string        `json:"status"` // "ok" or "degraded"
+	Epoch  uint64        `json:"epoch,omitempty"`
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// NetworkStats reports the router's measured wire traffic, the
+// quantity the paper's inter-machine claims are about: real bytes on a
+// real wire, per query.
+type NetworkStats struct {
+	// Queries is the number of routed queries the bytes are averaged
+	// over.
+	Queries uint64 `json:"queries"`
+	// BytesSent / BytesRecv are totals across all shard connections
+	// (requests out, partial results back).
+	BytesSent int64 `json:"bytesSent"`
+	BytesRecv int64 `json:"bytesRecv"`
+	// BytesPerQuery is (BytesSent+BytesRecv)/Queries.
+	BytesPerQuery float64 `json:"bytesPerQuery"`
+}
+
+// RouterStats counts the router's own query-path activity.
+type RouterStats struct {
+	Queries uint64 `json:"queries"`
+	// Degraded counts responses served from the last-good cache because
+	// a shard was unreachable or lacked a consistent epoch.
+	Degraded uint64 `json:"degraded"`
+	// Retries counts per-shard RPC retries after a transport error.
+	Retries uint64 `json:"retries"`
+	// EpochFallbacks counts queries re-issued at an older epoch because
+	// the shards disagreed on the current one.
+	EpochFallbacks uint64 `json:"epochFallbacks"`
+}
+
+// RouterStatsResponse is the router's /v1/stats body.
+type RouterStatsResponse struct {
+	Epoch   uint64        `json:"epoch"`
+	Engine  Engine        `json:"engine"`
+	Seed    uint64        `json:"seed"`
+	Shards  []ShardStatus `json:"shards"`
+	Serving RouterStats   `json:"serving"`
+	Network NetworkStats  `json:"network"`
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+// Epoch is the epoch the server was serving when it failed the request
+// (0 when no snapshot is published), so clients can correlate errors
+// with the snapshot trail.
+type Error struct {
+	Message string `json:"error"`
+	Code    string `json:"code"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+}
+
+// Error implements the error interface, so decoded envelopes propagate
+// as Go errors with their machine-readable code attached.
+func (e *Error) Error() string {
+	return e.Code + ": " + e.Message
+}
+
+// Error codes, one vocabulary for single-node server, shards and
+// router. The code says what class of failure occurred; the HTTP status
+// says what the client should do about it.
+const (
+	// CodeBadRequest: malformed query parameters.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the queried entity does not exist.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: non-GET on a query endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNoSnapshot: nothing published yet (503, retryable).
+	CodeNoSnapshot = "no_snapshot"
+	// CodeInternal: marshal or compute failure inside the server.
+	CodeInternal = "internal"
+	// CodeUnavailable: shards unreachable and no fallback answer held.
+	CodeUnavailable = "unavailable"
+	// CodeUnsupported: the endpoint exists but not on this deployment
+	// (e.g. /v1/compare on the stateless router).
+	CodeUnsupported = "unsupported"
+	// CodeVersionMismatch: RPC peers speak different wire versions.
+	CodeVersionMismatch = "version_mismatch"
+)

@@ -12,11 +12,12 @@ import (
 	"time"
 
 	"repro/internal/graph/gen"
+	"repro/internal/serve/api"
 	"repro/internal/topk"
 )
 
 // fetchTopK is a goroutine-safe /v1/topk client (no testing.T calls).
-func fetchTopK(url string) (*topKResponse, error) {
+func fetchTopK(url string) (*api.TopKResponse, error) {
 	resp, err := http.Get(url)
 	if err != nil {
 		return nil, err
@@ -29,7 +30,7 @@ func fetchTopK(url string) (*topKResponse, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}
-	var got topKResponse
+	var got api.TopKResponse
 	if err := json.Unmarshal(body, &got); err != nil {
 		return nil, fmt.Errorf("bad JSON %q: %v", body, err)
 	}

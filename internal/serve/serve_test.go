@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/pagerank"
+	"repro/internal/serve/api"
 	"repro/internal/topk"
 )
 
@@ -287,7 +288,7 @@ func TestServerTopKBitIdentical(t *testing.T) {
 	_, st, ts := newTestServer(t)
 	snap := st.Current()
 	for _, k := range []int{1, 20, 50, 200} {
-		var got topKResponse
+		var got api.TopKResponse
 		if code := getJSON(t, ts.URL+"/v1/topk?k="+strconv.Itoa(k), &got); code != http.StatusOK {
 			t.Fatalf("k=%d: status %d", k, code)
 		}
@@ -308,7 +309,7 @@ func TestServerTopKBitIdentical(t *testing.T) {
 
 func TestServerTopKDefaultsAndErrors(t *testing.T) {
 	_, _, ts := newTestServer(t)
-	var got topKResponse
+	var got api.TopKResponse
 	if code := getJSON(t, ts.URL+"/v1/topk", &got); code != http.StatusOK {
 		t.Fatalf("default k: status %d", code)
 	}
@@ -322,7 +323,7 @@ func TestServerTopKDefaultsAndErrors(t *testing.T) {
 	}
 	// k above the cache bound still answers (uncached path), clamped
 	// to the graph size.
-	var huge topKResponse
+	var huge api.TopKResponse
 	if code := getJSON(t, ts.URL+"/v1/topk?k=999999", &huge); code != http.StatusOK {
 		t.Fatalf("huge k: status %d", code)
 	}
@@ -333,10 +334,10 @@ func TestServerTopKDefaultsAndErrors(t *testing.T) {
 
 func TestServerTopKCacheAndInvalidation(t *testing.T) {
 	srv, st, ts := newTestServer(t)
-	var first topKResponse
+	var first api.TopKResponse
 	getJSON(t, ts.URL+"/v1/topk?k=7", &first)
 	hits := srv.CacheHits()
-	var second topKResponse
+	var second api.TopKResponse
 	getJSON(t, ts.URL+"/v1/topk?k=7", &second)
 	if srv.CacheHits() != hits+1 {
 		t.Errorf("second identical query should hit the cache (hits %d -> %d)", hits, srv.CacheHits())
@@ -346,7 +347,7 @@ func TestServerTopKCacheAndInvalidation(t *testing.T) {
 	}
 
 	buildSnap(t, st, EngineGLPR) // swap epochs
-	var third topKResponse
+	var third api.TopKResponse
 	getJSON(t, ts.URL+"/v1/topk?k=7", &third)
 	if third.Epoch != 2 || third.Engine != EngineGLPR {
 		t.Errorf("after swap the cache must serve the new epoch, got %+v", third)
@@ -356,7 +357,7 @@ func TestServerTopKCacheAndInvalidation(t *testing.T) {
 func TestServerRank(t *testing.T) {
 	_, st, ts := newTestServer(t)
 	snap := st.Current()
-	var got rankResponse
+	var got api.RankResponse
 	if code := getJSON(t, ts.URL+"/v1/rank?vertex=17", &got); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -377,7 +378,7 @@ func TestServerRank(t *testing.T) {
 func TestServerCompare(t *testing.T) {
 	srv, st, ts := newTestServer(t)
 	snap := st.Current()
-	var got compareResponse
+	var got api.CompareResponse
 	if code := getJSON(t, ts.URL+"/v1/compare?engine=exact&k=20", &got); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -431,7 +432,7 @@ func TestServerStatsAndHealthz(t *testing.T) {
 	}
 
 	snap := buildSnap(t, st, EngineFrogWild)
-	var got statsResponse
+	var got api.StatsResponse
 	if code := getJSON(t, ts.URL+"/v1/stats", &got); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
@@ -547,7 +548,7 @@ func TestNewServiceInitialSnapshot(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	var got topKResponse
+	var got api.TopKResponse
 	if code := getJSON(t, ts.URL+"/v1/topk?k=5", &got); code != http.StatusOK || got.Epoch != 1 {
 		t.Errorf("service topk: code %d, %+v", code, got)
 	}

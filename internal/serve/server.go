@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/serve/api"
 	"repro/internal/topk"
 )
 
@@ -128,7 +129,7 @@ func (s *Server) Coalesced() uint64 { return s.coalesced.Load() }
 func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			s.fail(w, http.StatusMethodNotAllowed, "use GET")
+			s.fail(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use GET")
 			return
 		}
 		s.queries.Add(1)
@@ -136,11 +137,27 @@ func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// fail writes a JSON error body.
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+// fail writes the api.Error JSON envelope, stamped with the epoch the
+// server was serving when the request failed (0 before the first
+// publish).
+func (s *Server) fail(w http.ResponseWriter, status int, code, format string, args ...any) {
+	var epoch uint64
+	if snap := s.store.Current(); snap != nil {
+		epoch = snap.Epoch
+	}
+	WriteError(w, status, code, epoch, format, args...)
+}
+
+// WriteError writes the shared JSON error envelope; the router reuses
+// it so both serving planes fail identically.
+func WriteError(w http.ResponseWriter, status int, code string, epoch uint64, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	body, _ := json.Marshal(api.Error{
+		Message: fmt.Sprintf(format, args...),
+		Code:    code,
+		Epoch:   epoch,
+	})
 	w.Write(append(body, '\n'))
 }
 
@@ -154,34 +171,19 @@ func (s *Server) reply(w http.ResponseWriter, body []byte) {
 func (s *Server) current(w http.ResponseWriter) *Snapshot {
 	snap := s.store.Current()
 	if snap == nil {
-		s.fail(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		s.fail(w, http.StatusServiceUnavailable, api.CodeNoSnapshot, "no snapshot published yet")
 	}
 	return snap
-}
-
-// topKEntry is the JSON shape of one result row.
-type topKEntry struct {
-	Vertex uint32  `json:"vertex"`
-	Score  float64 `json:"score"`
-}
-
-// topKResponse is the /v1/topk body.
-type topKResponse struct {
-	Epoch   uint64      `json:"epoch"`
-	Engine  Engine      `json:"engine"`
-	Seed    uint64      `json:"seed"`
-	K       int         `json:"k"`
-	Entries []topKEntry `json:"entries"`
 }
 
 // marshalTopK builds the /v1/topk body for one (snapshot, k) pair.
 func marshalTopK(snap *Snapshot, k int) ([]byte, error) {
 	entries := snap.TopK(k)
-	rows := make([]topKEntry, len(entries))
+	rows := make([]api.TopKEntry, len(entries))
 	for i, e := range entries {
-		rows[i] = topKEntry{Vertex: e.Vertex, Score: e.Score}
+		rows[i] = api.TopKEntry{Vertex: e.Vertex, Score: e.Score}
 	}
-	body, err := json.Marshal(topKResponse{
+	body, err := json.Marshal(api.TopKResponse{
 		Epoch:   snap.Epoch,
 		Engine:  snap.Engine,
 		Seed:    snap.Seed,
@@ -201,7 +203,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	k, err := parsePositiveInt(r.URL.Query().Get("k"), 20)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad k: %v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "bad k: %v", err)
 		return
 	}
 
@@ -226,7 +228,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.coalesced.Add(1)
 	}
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "%v", err)
+		s.fail(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
 	if cacheable && !shared {
@@ -250,14 +252,6 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, body)
 }
 
-// rankResponse is the /v1/rank body.
-type rankResponse struct {
-	Epoch  uint64  `json:"epoch"`
-	Engine Engine  `json:"engine"`
-	Vertex uint32  `json:"vertex"`
-	Rank   float64 `json:"rank"`
-}
-
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	snap := s.current(w)
 	if snap == nil {
@@ -265,41 +259,27 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	raw := r.URL.Query().Get("vertex")
 	if raw == "" {
-		s.fail(w, http.StatusBadRequest, "missing vertex parameter")
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "missing vertex parameter")
 		return
 	}
 	v, err := strconv.ParseUint(raw, 10, 32)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad vertex: %v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "bad vertex: %v", err)
 		return
 	}
 	rank, ok := snap.Rank(graph.VertexID(v))
 	if !ok {
-		s.fail(w, http.StatusNotFound, "vertex %d not in graph (n=%d)", v, len(snap.Ranks))
+		s.fail(w, http.StatusNotFound, api.CodeNotFound, "vertex %d not in graph (n=%d)", v, len(snap.Ranks))
 		return
 	}
-	body, err := json.Marshal(rankResponse{
+	body, err := json.Marshal(api.RankResponse{
 		Epoch: snap.Epoch, Engine: snap.Engine, Vertex: uint32(v), Rank: rank,
 	})
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "%v", err)
+		s.fail(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
 	s.reply(w, append(body, '\n'))
-}
-
-// compareResponse is the /v1/compare body: the served estimate's
-// accuracy metrics against another engine run on the same graph, with
-// the comparison engine treated as the reference.
-type compareResponse struct {
-	Epoch               uint64  `json:"epoch"`
-	Engine              Engine  `json:"engine"`
-	Against             Engine  `json:"against"`
-	K                   int     `json:"k"`
-	CapturedMass        float64 `json:"capturedMass"`
-	NormalizedMass      float64 `json:"normalizedMass"`
-	ExactIdentification float64 `json:"exactIdentification"`
-	L1Distance          float64 `json:"l1Distance"`
 }
 
 // referenceRanks computes (or fetches the cached) comparison vector for
@@ -360,20 +340,20 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := ParseEngine(valueOr(r.URL.Query().Get("engine"), string(EngineExact)))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	k, err := parsePositiveInt(r.URL.Query().Get("k"), 20)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad k: %v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "bad k: %v", err)
 		return
 	}
 	ref, err := s.referenceRanks(snap, engine)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "compare run: %v", err)
+		s.fail(w, http.StatusInternalServerError, api.CodeInternal, "compare run: %v", err)
 		return
 	}
-	body, err := json.Marshal(compareResponse{
+	body, err := json.Marshal(api.CompareResponse{
 		Epoch:               snap.Epoch,
 		Engine:              snap.Engine,
 		Against:             engine,
@@ -384,49 +364,16 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		L1Distance:          topk.L1Distance(ref, snap.Ranks),
 	})
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "%v", err)
+		s.fail(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
 	s.reply(w, append(body, '\n'))
 }
 
-// statsResponse is the /v1/stats body.
-type statsResponse struct {
-	Epoch        uint64     `json:"epoch"`
-	Engine       Engine     `json:"engine"`
-	Seed         uint64     `json:"seed"`
-	BuiltAt      time.Time  `json:"builtAt"`
-	BuildSeconds float64    `json:"buildSeconds"`
-	MaxK         int        `json:"maxK"`
-	Graph        graphStats `json:"graph"`
-	Serving      serveStats `json:"serving"`
-}
-
-type graphStats struct {
-	Vertices  int     `json:"vertices"`
-	Edges     int64   `json:"edges"`
-	MinOutDeg int     `json:"minOutDeg"`
-	MaxOutDeg int     `json:"maxOutDeg"`
-	MaxInDeg  int     `json:"maxInDeg"`
-	MeanDeg   float64 `json:"meanDeg"`
-	GiniOut   float64 `json:"giniOut"`
-}
-
-type serveStats struct {
-	Queries          uint64 `json:"queries"`
-	TopKCacheHits    uint64 `json:"topkCacheHits"`
-	CompareCacheHits uint64 `json:"compareCacheHits"`
-	Coalesced        uint64 `json:"coalesced"`
-	Refreshes        uint64 `json:"refreshes"`
-	BuildErrors      uint64 `json:"buildErrors"`
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.current(w)
-	if snap == nil {
-		return
-	}
-	serving := serveStats{
+// StatsBody assembles the /v1/stats response for the current snapshot;
+// shards reuse it so their RPC stats match the single-node body.
+func (s *Server) StatsBody(snap *Snapshot) api.StatsResponse {
+	serving := api.ServeStats{
 		Queries:          s.queries.Load(),
 		TopKCacheHits:    s.cacheHits.Load(),
 		CompareCacheHits: s.compareHits.Load(),
@@ -436,14 +383,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		serving.Refreshes = ref.Refreshes()
 		serving.BuildErrors = ref.Errors()
 	}
-	body, err := json.Marshal(statsResponse{
+	return api.StatsResponse{
 		Epoch:        snap.Epoch,
 		Engine:       snap.Engine,
 		Seed:         snap.Seed,
 		BuiltAt:      snap.BuiltAt,
 		BuildSeconds: snap.BuildSeconds,
 		MaxK:         snap.MaxK,
-		Graph: graphStats{
+		Graph: api.GraphStats{
 			Vertices:  snap.Stats.NumVertices,
 			Edges:     snap.Stats.NumEdges,
 			MinOutDeg: snap.Stats.MinOutDeg,
@@ -453,21 +400,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			GiniOut:   snap.Stats.GiniOut,
 		},
 		Serving: serving,
-	})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.current(w)
+	if snap == nil {
+		return
+	}
+	body, err := json.Marshal(s.StatsBody(snap))
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "%v", err)
+		s.fail(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
 	s.reply(w, append(body, '\n'))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.store.Current() == nil {
-		http.Error(w, "no snapshot", http.StatusServiceUnavailable)
+	snap := s.store.Current()
+	if snap == nil {
+		s.fail(w, http.StatusServiceUnavailable, api.CodeNoSnapshot, "no snapshot published yet")
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	body, _ := json.Marshal(api.HealthResponse{Status: "ok", Epoch: snap.Epoch})
+	s.reply(w, append(body, '\n'))
 }
 
 // Serve listens on addr and serves until ctx is cancelled, then shuts

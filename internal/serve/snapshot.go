@@ -29,11 +29,14 @@ import (
 	"repro/internal/glpr"
 	"repro/internal/graph"
 	"repro/internal/pagerank"
+	"repro/internal/serve/api"
 	"repro/internal/topk"
 )
 
-// Engine names an estimate producer a Snapshot can be built from.
-type Engine string
+// Engine names an estimate producer a Snapshot can be built from. It
+// is the wire package's engine vocabulary: configuration and responses
+// share one type, so they cannot disagree.
+type Engine = api.Engine
 
 // Engines the serving layer can run.
 const (

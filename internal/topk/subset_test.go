@@ -1,0 +1,113 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// tieScores builds a vector full of deliberate score ties, including a
+// run of equal scores guaranteed to straddle any small selection cut.
+func tieScores(n int) []float64 {
+	scores := make([]float64, n)
+	r := rand.New(rand.NewSource(42))
+	for i := range scores {
+		// Only 7 distinct values: every selection cut lands inside a
+		// tie run, so ordering mistakes cannot hide.
+		scores[i] = float64(r.Intn(7)) / 10
+	}
+	return scores
+}
+
+// partition splits [0,n) into `parts` vertex sets round-robin, so
+// every part holds vertices from everywhere in the id space.
+func partition(n, parts int) [][]uint32 {
+	out := make([][]uint32, parts)
+	for v := 0; v < n; v++ {
+		out[v%parts] = append(out[v%parts], uint32(v))
+	}
+	return out
+}
+
+// TestSubsetMergeEqualsTop is the distributed-selection property the
+// sharded serving plane rests on: per-partition Subset results, merged
+// with Merge, are bit-identical to a single Top over the whole vector —
+// for several partition counts and ks, with heavy ties across the cut.
+func TestSubsetMergeEqualsTop(t *testing.T) {
+	const n = 500
+	scores := tieScores(n)
+	for _, parts := range []int{1, 2, 4, 7} {
+		sets := partition(n, parts)
+		for _, k := range []int{1, 3, 10, 63, n, n + 5} {
+			want := Top(scores, k)
+			lists := make([][]Entry, parts)
+			for i, set := range sets {
+				lists[i] = Subset(scores, set, k)
+			}
+			got := Merge(lists, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parts=%d k=%d: merge diverged from Top\n got %v\nwant %v",
+					parts, k, got[:min(5, len(got))], want[:min(5, len(want))])
+			}
+		}
+	}
+}
+
+// TestSubsetOfAllVerticesEqualsTop pins Subset's own ordering against
+// Top when the subset is the full vertex space.
+func TestSubsetOfAllVerticesEqualsTop(t *testing.T) {
+	scores := tieScores(200)
+	all := make([]uint32, len(scores))
+	for v := range all {
+		all[v] = uint32(v)
+	}
+	for _, k := range []int{1, 7, 50, 200} {
+		if got, want := Subset(scores, all, k), Top(scores, k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: Subset(all) != Top", k)
+		}
+	}
+}
+
+// TestSubsetIgnoresOutOfRange checks robustness against a shard whose
+// ownership list mentions vertices beyond the score vector (a shorter
+// snapshot after a graph change must not panic the shard).
+func TestSubsetIgnoresOutOfRange(t *testing.T) {
+	scores := []float64{0.5, 0.3, 0.2}
+	got := Subset(scores, []uint32{0, 2, 9}, 5)
+	want := []Entry{{Vertex: 0, Score: 0.5}, {Vertex: 2, Score: 0.2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestMergeEdgeCases covers empty and undersized inputs.
+func TestMergeEdgeCases(t *testing.T) {
+	if got := Merge(nil, 5); len(got) != 0 {
+		t.Fatalf("merge of nothing: %v", got)
+	}
+	if got := Merge([][]Entry{{}, {}}, 5); len(got) != 0 {
+		t.Fatalf("merge of empties: %v", got)
+	}
+	one := [][]Entry{{{Vertex: 3, Score: 1}}}
+	if got := Merge(one, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	if got := Merge(one, 10); len(got) != 1 || got[0].Vertex != 3 {
+		t.Fatalf("k>len: %v", got)
+	}
+}
+
+// TestLessMatchesOrdering pins the exported comparator against the
+// output order of Top.
+func TestLessMatchesOrdering(t *testing.T) {
+	scores := tieScores(100)
+	top := Top(scores, 100)
+	for i := 1; i < len(top); i++ {
+		if Less(top[i-1], top[i]) {
+			t.Fatalf("Top output not descending under Less at %d", i)
+		}
+		if !Less(top[i], top[i-1]) {
+			t.Fatalf("total order violated: adjacent entries equal at %d", i)
+		}
+	}
+}

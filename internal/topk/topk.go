@@ -80,6 +80,57 @@ func Top(scores []float64, k int) []Entry {
 	// Pop the weakest into the tail until the heap drains: descending
 	// output. The ordering is total, so the result is unique no matter
 	// how the heap arranged itself internally.
+	return h.drain()
+}
+
+// entryLess reports whether a ranks strictly below b (lower score, or
+// equal score and larger vertex id).
+func entryLess(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Vertex > b.Vertex
+}
+
+// Less exposes the package's total order (a strictly below b): lower
+// score first, ties toward larger vertex id. Selection, merging and
+// any external consumer ordering partial results all use this one
+// comparison, which is what makes distributed top-k merge exact.
+func Less(a, b Entry) bool { return entryLess(a, b) }
+
+// Subset returns the k highest-scoring entries among the given
+// vertices only, in the same descending total order as Top. Vertices
+// out of range of scores are ignored. It is the shard-side half of
+// distributed selection: if the vertex sets partition [0,len(scores)),
+// Merge of the per-subset results equals Top of the whole vector.
+func Subset(scores []float64, vertices []uint32, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(vertices) {
+		k = len(vertices)
+	}
+	h := make(entryHeap, 0, k)
+	for _, v := range vertices {
+		if int(v) >= len(scores) {
+			continue
+		}
+		e := Entry{Vertex: v, Score: scores[v]}
+		if len(h) < k {
+			h = append(h, e)
+			h.siftUp(len(h) - 1)
+			continue
+		}
+		if entryLess(h[0], e) {
+			h[0] = e
+			h.siftDown(0)
+		}
+	}
+	return h.drain()
+}
+
+// drain pops the heap into a descending slice (see Top).
+func (h entryHeap) drain() []Entry {
 	out := make([]Entry, len(h))
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = h[0]
@@ -91,13 +142,31 @@ func Top(scores []float64, k int) []Entry {
 	return out
 }
 
-// entryLess reports whether a ranks strictly below b (lower score, or
-// equal score and larger vertex id).
-func entryLess(a, b Entry) bool {
-	if a.Score != b.Score {
-		return a.Score < b.Score
+// Merge combines partial top-k lists (each sorted descending in the
+// package's total order, as Top and Subset produce) into the global
+// top-k, bit-exact: because the order is total, the merged prefix of
+// the concatenated lists is the unique answer — there is no
+// tie-breaking freedom for shards to disagree on. Duplicate vertices
+// across lists are kept; callers partition the vertex space so they
+// cannot occur.
+func Merge(lists [][]Entry, k int) []Entry {
+	if k <= 0 {
+		return nil
 	}
-	return a.Vertex > b.Vertex
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]Entry, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	// Descending: b < a in the total order.
+	sort.Slice(all, func(i, j int) bool { return entryLess(all[j], all[i]) })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k:k]
 }
 
 // Vertices extracts the vertex ids from entries, preserving order.
