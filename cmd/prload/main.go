@@ -31,9 +31,18 @@
 // Same -seed and flags reproduce the exact same query schedule. Exit
 // codes: 0 on a clean run, 1 when the run fails or any query errored,
 // 2 on usage errors.
+//
+// Server-side counters ride along: after the run, prload reads the
+// target's Prometheus registry (in-process and sharded targets
+// directly; live targets via -metrics-url http://host:port/metrics)
+// and embeds cache hit rate, coalesced builds, epoch fallbacks and
+// degraded serves as a prload/server entry in the report, so the
+// benchfmt trajectory captures server behavior, not just client-side
+// latency. -metrics-out FILE additionally writes the raw exposition.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -50,6 +59,7 @@ import (
 
 	"repro"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/serve"
 )
@@ -88,6 +98,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		vertices = fs.Int("vertices", 0, "rank-query vertex id space (default: the graph's size; required with -url when rank traffic is in the mix)")
 		out      = fs.String("out", "-", "report path ('-' = stdout)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		metURL   = fs.String("metrics-url", "", "with -url: scrape this /metrics endpoint after the run for the prload/server entry")
+		metOut   = fs.String("metrics-out", "", "write the server's Prometheus exposition here after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -129,9 +141,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *metOut != "" && *url != "" && *metURL == "" {
+		fmt.Fprintf(stderr, "prload: -metrics-out with -url needs -metrics-url to scrape\n")
+		fs.Usage()
+		return 2
+	}
 
 	var target loadgen.Target
 	var rt *router.Router
+	var srv *serve.Server
 	env := map[string]string{"seed": strconv.FormatUint(*seed, 10)}
 	if *url != "" {
 		target = loadgen.HTTPTarget{BaseURL: *url, Client: &http.Client{}}
@@ -155,7 +173,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		env["engine"] = *engine
 		env["graph"] = fmt.Sprintf("%s n=%d", *genType, vcount)
 	} else {
-		handler, vcount, err := buildInProcess(*path, *cache, *snapDir, *genType, *n, *engine, *machines, *maxK, *seed)
+		var vcount int
+		var err error
+		srv, vcount, err = buildInProcess(*path, *cache, *snapDir, *genType, *n, *engine, *machines, *maxK, *seed)
 		if err != nil {
 			fmt.Fprintf(stderr, "prload: %v\n", err)
 			return 1
@@ -163,7 +183,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if cfg.Vertices == 0 {
 			cfg.Vertices = vcount
 		}
-		target = loadgen.HandlerTarget{Handler: handler}
+		target = loadgen.HandlerTarget{Handler: srv}
 		env["target"] = "in-process"
 		env["engine"] = *engine
 		env["graph"] = fmt.Sprintf("%s n=%d", *genType, vcount)
@@ -206,6 +226,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "prload: sharded wire traffic: %.0f bytes/query over %d queries (%d degraded, %d epoch fallbacks, %d retries)\n",
 			ns.BytesPerQuery, ns.Queries, rt.Degraded(), rt.EpochFallbacks(), rt.Retries())
 	}
+	exposition, err := gatherMetrics(srv, rt, *metURL)
+	if err != nil {
+		fmt.Fprintf(stderr, "prload: metrics: %v\n", err)
+		return 1
+	}
+	if exposition != nil {
+		entry, err := serverEntry(exposition)
+		if err != nil {
+			fmt.Fprintf(stderr, "prload: metrics: %v\n", err)
+			return 1
+		}
+		doc.Benchmarks = append(doc.Benchmarks, entry)
+		if *metOut != "" {
+			if err := os.WriteFile(*metOut, exposition, 0o644); err != nil {
+				fmt.Fprintf(stderr, "prload: %v\n", err)
+				return 1
+			}
+		}
+	} else if *metOut != "" {
+		fmt.Fprintf(stderr, "prload: -metrics-out needs an in-process target or -metrics-url\n")
+		return 2
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "prload: %v\n", err)
@@ -223,6 +265,71 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// gatherMetrics returns the target's Prometheus exposition after the
+// run: rendered straight from the in-process registry (single-node or
+// router target), fetched over HTTP when -metrics-url names a live
+// endpoint, nil when the target exposes neither.
+func gatherMetrics(srv *serve.Server, rt *router.Router, metricsURL string) ([]byte, error) {
+	if metricsURL != "" {
+		resp, err := http.Get(metricsURL)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d", metricsURL, resp.StatusCode)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	var reg *obs.Registry
+	switch {
+	case rt != nil:
+		reg = rt.Metrics()
+	case srv != nil:
+		reg = srv.Metrics()
+	default:
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// serverEntry condenses the exposition into the prload/server report
+// entry. Absent families read as 0 (a router exposition has no serve_*
+// families and vice versa), so one entry shape covers both targets.
+// The metric names carry no "/s" suffix: `benchreport compare` reports
+// them without gating on them.
+func serverEntry(exposition []byte) (loadgen.BenchEntry, error) {
+	series, err := obs.ParseText(exposition)
+	if err != nil {
+		return loadgen.BenchEntry{}, err
+	}
+	requests := obs.FamilySum(series, "serve_requests_total") +
+		obs.FamilySum(series, "router_requests_total")
+	topkHits := obs.FamilySum(series, "serve_topk_cache_hits_total")
+	topkReqs := series[`serve_request_seconds_count{endpoint="topk"}`]
+	hitRate := 0.0
+	if topkReqs > 0 {
+		hitRate = topkHits / topkReqs
+	}
+	return loadgen.BenchEntry{
+		Name:       "prload/server",
+		Iterations: int64(requests),
+		Metrics: map[string]float64{
+			"requests":       requests,
+			"topkCacheHits":  topkHits,
+			"cacheHitRate":   hitRate,
+			"coalesced":      obs.FamilySum(series, "serve_coalesced_total"),
+			"epochFallbacks": obs.FamilySum(series, "router_epoch_fallbacks_total"),
+			"degradedServes": obs.FamilySum(series, "router_degraded_total"),
+			"rpcRetries":     obs.FamilySum(series, "router_shard_rpc_retries_total"),
+		},
+	}, nil
 }
 
 // buildSharded assembles the in-process sharded target: one graph and
@@ -286,7 +393,7 @@ func buildSharded(ctx context.Context, path, cache, genType string, n int, engin
 // generate the graph (through the mmap-able gstore cache when
 // -graph-cache is set), compute or warm-start the snapshot (through
 // -snapshot-dir), wrap it in the query API.
-func buildInProcess(path, cache, snapDir, genType string, n int, engine string, machines, maxK int, seed uint64) (http.Handler, int, error) {
+func buildInProcess(path, cache, snapDir, genType string, n int, engine string, machines, maxK int, seed uint64) (*serve.Server, int, error) {
 	eng, err := serve.ParseEngine(engine)
 	if err != nil {
 		return nil, 0, err

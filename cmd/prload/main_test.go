@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 )
 
 // runCLI invokes the CLI body and returns (exit code, stdout, stderr).
@@ -44,8 +45,15 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Errorf("env = %v", doc.Env)
 	}
 	names := map[string]bool{}
-	for _, b := range doc.Benchmarks {
+	var server *loadgen.BenchEntry
+	for i := range doc.Benchmarks {
+		b := &doc.Benchmarks[i]
 		names[b.Name] = true
+		if b.Name == "prload/server" {
+			// Server-side counter entry, not a latency entry.
+			server = b
+			continue
+		}
 		for _, metric := range []string{"queries/s", "p50/ms", "p95/ms", "p99/ms"} {
 			if _, ok := b.Metrics[metric]; !ok {
 				t.Errorf("%s missing metric %s", b.Name, metric)
@@ -59,6 +67,15 @@ func TestRunEndToEnd(t *testing.T) {
 		if !names[want] {
 			t.Errorf("report missing %s entry (have %v)", want, names)
 		}
+	}
+	if server == nil {
+		t.Fatal("report missing prload/server entry")
+	}
+	if server.Metrics["requests"] <= 0 {
+		t.Errorf("prload/server requests = %v, want > 0", server.Metrics["requests"])
+	}
+	if r := server.Metrics["cacheHitRate"]; r < 0 || r > 1 {
+		t.Errorf("prload/server cacheHitRate = %v, want within [0,1]", r)
 	}
 	if !strings.Contains(stderr, "queries/s") {
 		t.Errorf("no throughput summary on stderr:\n%s", stderr)
@@ -148,6 +165,47 @@ func TestRunSharded(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "bytes/query") {
 		t.Errorf("no wire-traffic summary on stderr:\n%s", stderr)
+	}
+}
+
+// TestRunMetricsOut checks -metrics-out writes the server's Prometheus
+// exposition and that its counters agree with the embedded
+// prload/server entry.
+func TestRunMetricsOut(t *testing.T) {
+	mout := filepath.Join(t.TempDir(), "metrics.txt")
+	code, stdout, stderr := runCLI(t, tinyRun("-metrics-out", mout)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(mout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := obs.ParseText(data)
+	if err != nil {
+		t.Fatalf("-metrics-out is not a parseable exposition: %v", err)
+	}
+	var doc loadgen.BenchDoc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var server *loadgen.BenchEntry
+	for i := range doc.Benchmarks {
+		if doc.Benchmarks[i].Name == "prload/server" {
+			server = &doc.Benchmarks[i]
+		}
+	}
+	if server == nil {
+		t.Fatal("report missing prload/server entry")
+	}
+	if got, want := obs.FamilySum(series, "serve_requests_total"), server.Metrics["requests"]; got != want {
+		t.Errorf("serve_requests_total = %v in -metrics-out, %v in report", got, want)
+	}
+	// A live target needs -metrics-url to have anything to write;
+	// caught as a usage error before any query is issued.
+	if code, _, _ := runCLI(t, "-url", "http://127.0.0.1:1", "-queries", "10",
+		"-vertices", "100", "-metrics-out", mout); code != 2 {
+		t.Errorf("-metrics-out with -url but no -metrics-url: exit %d, want 2", code)
 	}
 }
 

@@ -20,6 +20,12 @@
 // The shard keeps its previous snapshot alongside the current one, so
 // a router can re-ask at the older epoch while a refresh rolls across
 // the cluster. SIGINT/SIGTERM shut the shard down.
+//
+// Observability: -metrics-addr serves the Prometheus exposition
+// (shard ops, frame bytes, snapshot epoch/age, refresher stages) on an
+// HTTP side listener, -log-requests writes one JSON line per RPC to
+// stderr carrying the router-propagated request id, and -pprof-addr
+// serves net/http/pprof.
 package main
 
 import (
@@ -29,12 +35,15 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/serve"
 )
@@ -42,12 +51,13 @@ import (
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	os.Exit(run(ctx, os.Args[1:], os.Stderr, nil))
+	os.Exit(run(ctx, os.Args[1:], os.Stderr, nil, nil))
 }
 
 // run is the testable CLI body. onReady, when non-nil, receives the
-// bound listen address once the shard is serving.
-func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr string)) int {
+// bound RPC listen address once the shard is serving; onMetrics
+// likewise receives the bound -metrics-addr address.
+func run(ctx context.Context, args []string, stderr io.Writer, onReady, onMetrics func(addr string)) int {
 	fs := flag.NewFlagSet("prshard", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -63,6 +73,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 		maxK     = fs.Int("maxk", serve.DefaultMaxK, "precomputed top index size")
 		refresh  = fs.Duration("refresh", 0, "background recompute cadence (0 = serve the initial snapshot forever)")
 		seed     = fs.Uint64("seed", 1, "base seed; must match across the cluster and the router's graph")
+		metrics  = fs.String("metrics-addr", "", "serve the Prometheus exposition on this HTTP side address (e.g. 127.0.0.1:9101)")
+		logReq   = fs.Bool("log-requests", false, "write one JSON line per shard RPC to stderr (rid, op, status, duration)")
+		pprof    = fs.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6061)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,6 +123,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 	log.Printf("prshard: shard %d/%d owns %d of %d vertices (graph ready in %.3fs)",
 		*shard, *shards, len(owned), g.NumVertices(), time.Since(loadStart).Seconds())
 
+	reg := obs.NewRegistry()
 	store := serve.NewStore()
 	refresher := serve.NewRefresher(store, serve.EngineBuilder(g, serve.BuildConfig{
 		Engine:   eng,
@@ -117,6 +131,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 		Seed:     *seed,
 		MaxK:     *maxK,
 	}), *refresh)
+	refresher.Instrument(reg)
 	buildStart := time.Now()
 	if _, err := refresher.Refresh(); err != nil {
 		fmt.Fprintf(stderr, "prshard: initial snapshot: %v\n", err)
@@ -131,6 +146,38 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 	}
 
 	srv := router.NewShardServer(*shard, *shards, owned, store)
+	srv.Instrument(reg)
+	if *logReq {
+		srv.SetRequestLog(obs.NewLogger(stderr))
+	}
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "prshard: metrics listener: %v\n", err)
+			return 1
+		}
+		mmux := http.NewServeMux()
+		mmux.Handle("/metrics", reg.Handler())
+		log.Printf("prshard: serving /metrics on %s", mln.Addr())
+		if onMetrics != nil {
+			onMetrics(mln.Addr().String())
+		}
+		go func() {
+			if err := obs.ServeListener(ctx, mln, mmux); err != nil {
+				log.Printf("prshard: metrics listener: %v", err)
+			}
+		}()
+	}
+	if *pprof != "" {
+		log.Printf("prshard: serving pprof on %s", *pprof)
+		go func() {
+			// nil handler would also work: the pprof import registers
+			// itself on http.DefaultServeMux.
+			if err := obs.ListenAndServe(ctx, *pprof, http.DefaultServeMux); err != nil {
+				log.Printf("prshard: pprof listener: %v", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "prshard: %v\n", err)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/serve"
 )
@@ -30,6 +31,7 @@ func TestPrshardClusterMatchesSingleNode(t *testing.T) {
 
 	addrs := make([]chan string, shards)
 	exits := make([]chan int, shards)
+	metricsAddr := make(chan string, 1)
 	for i := 0; i < shards; i++ {
 		addrs[i] = make(chan string, 1)
 		exits[i] = make(chan int, 1)
@@ -39,9 +41,14 @@ func TestPrshardClusterMatchesSingleNode(t *testing.T) {
 			"-gen", "twitterlike", "-n", fmt.Sprint(n),
 			"-engine", "exact", "-seed", fmt.Sprint(seed),
 		}
+		var onMetrics func(string)
+		if i == 0 {
+			args = append(args, "-metrics-addr", "127.0.0.1:0")
+			onMetrics = func(a string) { metricsAddr <- a }
+		}
 		ch := addrs[i]
 		ex := exits[i]
-		go func() { ex <- run(ctx, args, io.Discard, func(a string) { ch <- a }) }()
+		go func() { ex <- run(ctx, args, io.Discard, func(a string) { ch <- a }, onMetrics) }()
 	}
 	clients := make([]*router.ShardClient, shards)
 	for i, ch := range addrs {
@@ -87,6 +94,33 @@ func TestPrshardClusterMatchesSingleNode(t *testing.T) {
 		t.Fatalf("no wire bytes metered: %+v", ns)
 	}
 
+	// Shard 0 ran with -metrics-addr: its side listener must serve a
+	// parseable Prometheus exposition reflecting the traffic above.
+	select {
+	case maddr := <-metricsAddr:
+		resp, err := http.Get("http://" + maddr + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape shard metrics: %v", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape shard metrics: status %d err %v", resp.StatusCode, err)
+		}
+		series, err := obs.ParseText(body)
+		if err != nil {
+			t.Fatalf("shard exposition does not parse: %v", err)
+		}
+		if got := obs.FamilySum(series, "shard_requests_total"); got <= 0 {
+			t.Fatalf("shard_requests_total = %v after %d queries", got, rt.Queries())
+		}
+		if got := obs.FamilySum(series, "refresh_builds_total"); got != 1 {
+			t.Fatalf("refresh_builds_total = %v, want 1", got)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shard 0 never reported its metrics address")
+	}
+
 	cancel()
 	for i, ex := range exits {
 		select {
@@ -109,7 +143,7 @@ func TestPrshardUsageErrors(t *testing.T) {
 		{"-bogus"},
 	}
 	for _, args := range cases {
-		if code := run(context.Background(), args, io.Discard, nil); code != 2 {
+		if code := run(context.Background(), args, io.Discard, nil, nil); code != 2 {
 			t.Fatalf("args %v: exit %d, want 2", args, code)
 		}
 	}

@@ -199,6 +199,30 @@ func (h *Histogram) QuantileDuration(q float64) time.Duration {
 	return time.Duration(h.Quantile(q))
 }
 
+// Snapshot returns an independent deep copy of the histogram: a
+// consistent point-in-time view that a scraper can iterate and
+// quantile at leisure while the original keeps recording. The copy
+// shares no storage with h, so it is immutable as long as the caller
+// does not Record into it.
+func (h *Histogram) Snapshot() *Histogram {
+	c := *h
+	c.buckets = append([]uint64(nil), h.buckets...)
+	return &c
+}
+
+// Buckets calls fn once per non-empty bucket in ascending value order,
+// with the bucket's inclusive upper bound and its count. This is the
+// iteration surface exposition renderers (e.g. Prometheus cumulative
+// buckets) are built on: summing count over all calls equals Count(),
+// and every sample in a bucket is <= that bucket's upper bound.
+func (h *Histogram) Buckets(fn func(upper int64, count uint64)) {
+	for i, c := range h.buckets {
+		if c != 0 {
+			fn(bucketUpper(i), c)
+		}
+	}
+}
+
 // Counts returns a copy of the bucket counts (trailing zero buckets
 // trimmed by construction). Two histograms over the same samples have
 // equal Counts regardless of recording order or sharding.

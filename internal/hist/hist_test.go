@@ -89,9 +89,82 @@ func TestEmptyHistogram(t *testing.T) {
 	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
 		t.Errorf("empty histogram not all-zero: %s", h.String())
 	}
-	for _, q := range []float64{0, 0.5, 0.99, 1} {
+	// Out-of-range and hostile q values must also return 0 on an empty
+	// histogram — concurrent scrapers quantile histograms that may not
+	// have seen a sample yet, and garbage here would leak into metrics.
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN(), math.Inf(1), math.Inf(-1)} {
 		if h.Quantile(q) != 0 {
 			t.Errorf("empty Quantile(%v) = %d", q, h.Quantile(q))
+		}
+	}
+	// An empty snapshot iterates no buckets.
+	h.Snapshot().Buckets(func(upper int64, count uint64) {
+		t.Errorf("empty histogram iterated bucket (%d, %d)", upper, count)
+	})
+}
+
+func TestSnapshotIsIndependentCopy(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{3, 70, 70, 5000, 1 << 20} {
+		h.RecordValue(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count() != h.Count() || snap.Sum() != h.Sum() ||
+		snap.Min() != h.Min() || snap.Max() != h.Max() ||
+		!reflect.DeepEqual(snap.Counts(), h.Counts()) {
+		t.Fatalf("snapshot differs from source: %s vs %s", snap, &h)
+	}
+	// Recording into the original must not bleed into the snapshot,
+	// and vice versa.
+	before := snap.Counts()
+	h.RecordValue(1 << 30)
+	if !reflect.DeepEqual(snap.Counts(), before) || snap.Count() != 5 {
+		t.Fatal("snapshot mutated by a later Record into the source")
+	}
+	snap.RecordValue(1)
+	if h.Count() != 6 || h.Min() != 3 {
+		t.Fatalf("source mutated by a Record into the snapshot: %s", &h)
+	}
+}
+
+func TestBucketsIteration(t *testing.T) {
+	var h Histogram
+	samples := []int64{0, 1, 63, 64, 100, 100, 4096, 1 << 22}
+	for _, v := range samples {
+		h.RecordValue(v)
+	}
+	var total uint64
+	last := int64(-1)
+	h.Buckets(func(upper int64, count uint64) {
+		if count == 0 {
+			t.Errorf("bucket %d iterated with zero count", upper)
+		}
+		if upper <= last {
+			t.Errorf("bucket upper bounds not strictly ascending: %d after %d", upper, last)
+		}
+		last = upper
+		total += count
+	})
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	// Every sample must be <= the upper bound of some bucket holding it:
+	// cumulative counts over the iteration dominate the true CDF.
+	for _, v := range samples {
+		var cum uint64
+		h.Buckets(func(upper int64, count uint64) {
+			if upper >= v {
+				cum += count
+			}
+		})
+		var atLeast uint64
+		for _, s := range samples {
+			if bucketUpper(bucketIndex(s)) >= v {
+				atLeast++
+			}
+		}
+		if cum != atLeast {
+			t.Fatalf("cumulative count above %d = %d, want %d", v, cum, atLeast)
 		}
 	}
 }

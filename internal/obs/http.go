@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// StatusWriter wraps an http.ResponseWriter to capture the status code
+// for metrics and request logs. Status reports 200 when the handler
+// never called WriteHeader explicitly (net/http's implicit default).
+type StatusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the first explicit status and forwards it.
+func (w *StatusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Status returns the response status (200 if never set explicitly).
+func (w *StatusWriter) Status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// ListenAndServe serves h on addr until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to 5 seconds). It powers
+// the side listeners — prshard's -metrics-addr and both CLIs'
+// -pprof-addr — where a full server lifecycle would be overkill.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, ln, h)
+}
+
+// ServeListener is ListenAndServe over an already-bound listener, for
+// callers that need the bound address (e.g. ":0" side listeners).
+func ServeListener(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

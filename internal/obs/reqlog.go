@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Entry is one structured request-log line. Every field is optional;
+// producers fill what their layer knows. The rid field is the thread
+// that stitches one query's lines together across processes: the
+// router's HTTP entry, each shard's RPC entry and the shard's own
+// serving entries all carry the same rid.
+type Entry struct {
+	// Time is stamped by the Logger (RFC3339Nano, UTC) when empty.
+	Time string `json:"ts,omitempty"`
+	// Component names the emitting layer: "serve", "router", "shard".
+	Component string `json:"component,omitempty"`
+	// RID is the propagated request id.
+	RID string `json:"rid,omitempty"`
+	// Method/Path/Query describe an HTTP request (Query is the raw
+	// query string, so k= and vertex= parameters are preserved).
+	Method string `json:"method,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Query  string `json:"query,omitempty"`
+	// Op/K/Vertex describe a shard RPC request.
+	Op     string `json:"op,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Vertex string `json:"vertex,omitempty"`
+	// Epoch is the snapshot epoch the answer came from (0 unknown).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Shards is the router's fan-out width.
+	Shards int `json:"shards,omitempty"`
+	// Status is the HTTP status; Code a shard-side api error code.
+	Status int    `json:"status,omitempty"`
+	Code   string `json:"code,omitempty"`
+	// DurMS is the handling duration in milliseconds.
+	DurMS float64 `json:"dur_ms"`
+	// Err carries a failure detail.
+	Err string `json:"err,omitempty"`
+}
+
+// Logger writes request Entries as JSON lines to one writer. A nil
+// *Logger is valid and discards everything, so call sites need no
+// enabled-checks around the cheap path — but building an Entry is not
+// free, so hot paths should still guard with Enabled.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a logger writing JSON lines to w (nil w — or a nil
+// *Logger — disables logging).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Enabled reports whether Log will write anything.
+func (l *Logger) Enabled() bool { return l != nil }
+
+// Log writes one entry as a JSON line, stamping Time if unset. Safe
+// for concurrent use; a marshal or write failure is dropped (request
+// logging must never fail a request).
+func (l *Logger) Log(e Entry) {
+	if l == nil {
+		return
+	}
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header a request id travels in. The
+// router generates one when the client did not send it, echoes it on
+// the response, and forwards it inside shard RPC frames, so one slow
+// query is traceable across processes by grepping all logs for the id.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds accepted client-supplied ids so a hostile
+// header cannot bloat logs or RPC frames.
+const maxRequestIDLen = 64
+
+var (
+	ridOnce    sync.Once
+	ridPrefix  string
+	ridCounter atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request id: an 8-byte random
+// process prefix (drawn once) plus a counter, e.g. "f3a2b1c4d5e6a7b8-2a".
+// One cheap atomic add per id — no per-request entropy draw on the hot
+// path.
+func NewRequestID() string {
+	ridOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// No entropy: fall back to the address of the once guard,
+			// still distinct across processes in practice.
+			ridPrefix = fmt.Sprintf("%x", &ridOnce)
+			return
+		}
+		ridPrefix = hex.EncodeToString(b[:])
+	})
+	return ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 16)
+}
+
+// CleanRequestID sanitizes a client-supplied id: control characters
+// and quotes are dropped (they would corrupt JSON-line logs and
+// headers) and the result is clamped to a bounded length. Returns ""
+// when nothing usable remains.
+func CleanRequestID(s string) string {
+	if len(s) > maxRequestIDLen {
+		s = s[:maxRequestIDLen]
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '\\' || c >= 0x7f {
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// EnsureRequestID returns the request's sanitized id, generating one
+// when the header is absent or unusable, and stamps it onto the
+// response so the client can correlate.
+func EnsureRequestID(w http.ResponseWriter, r *http.Request) string {
+	rid := CleanRequestID(r.Header.Get(RequestIDHeader))
+	if rid == "" {
+		rid = NewRequestID()
+	}
+	w.Header().Set(RequestIDHeader, rid)
+	return rid
+}

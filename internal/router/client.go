@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"fmt"
 	"net"
-	"sync/atomic"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DialFunc opens one connection to a shard. TCP deployments use
@@ -50,10 +52,15 @@ type ShardClient struct {
 
 	idle chan net.Conn
 
-	sent    atomic.Int64
-	recv    atomic.Int64
-	calls   atomic.Uint64
-	retries atomic.Uint64
+	// Free-standing obs instruments; Router.New registers them on its
+	// registry via Instrument, so the stats body (which reads the same
+	// counters) and /metrics agree by construction.
+	sent    obs.Counter
+	recv    obs.Counter
+	calls   obs.Counter
+	retries obs.Counter
+	errs    obs.Counter
+	rpcLat  obs.Latency
 }
 
 // NewShardClient builds a client for shard id reachable through dial.
@@ -77,11 +84,30 @@ func (c *ShardClient) Addr() string { return c.addr }
 
 // BytesSent and BytesRecv return the total wire bytes this client has
 // moved (length prefixes included).
-func (c *ShardClient) BytesSent() int64 { return c.sent.Load() }
-func (c *ShardClient) BytesRecv() int64 { return c.recv.Load() }
+func (c *ShardClient) BytesSent() int64 { return int64(c.sent.Value()) }
+func (c *ShardClient) BytesRecv() int64 { return int64(c.recv.Value()) }
 
 // Retries returns how many RPCs needed a second attempt.
-func (c *ShardClient) Retries() uint64 { return c.retries.Load() }
+func (c *ShardClient) Retries() uint64 { return c.retries.Value() }
+
+// Instrument registers the client's instruments on reg under the
+// router_shard_* names, labeled with the shard id. Call at most once
+// per registry (Router.New does).
+func (c *ShardClient) Instrument(reg *obs.Registry) {
+	shard := obs.Labels{"shard": strconv.Itoa(c.id)}
+	reg.RegisterCounter("router_shard_rpc_total",
+		"RPCs issued to this shard (retries not included).", shard, &c.calls)
+	reg.RegisterCounter("router_shard_rpc_retries_total",
+		"RPCs that needed a second attempt after a transport error.", shard, &c.retries)
+	reg.RegisterCounter("router_shard_rpc_errors_total",
+		"RPCs that failed both attempts.", shard, &c.errs)
+	reg.RegisterLatency("router_shard_rpc_seconds",
+		"Per-shard RPC round-trip latency (retries included).", shard, &c.rpcLat)
+	reg.RegisterCounter("router_shard_bytes_sent_total",
+		"Wire bytes sent to this shard (length prefixes included).", shard, &c.sent)
+	reg.RegisterCounter("router_shard_bytes_recv_total",
+		"Wire bytes received from this shard (length prefixes included).", shard, &c.recv)
+}
 
 // Close drains the idle pool. In-flight calls finish on their own
 // connections.
@@ -121,11 +147,13 @@ func (c *ShardClient) put(conn net.Conn) {
 // pooled connection may have died while idle, so the first failure is
 // ambiguous; the second is real).
 func (c *ShardClient) call(req request) (response, error) {
-	c.calls.Add(1)
+	c.calls.Inc()
+	start := time.Now()
+	defer func() { c.rpcLat.Observe(time.Since(start)) }()
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if attempt > 0 {
-			c.retries.Add(1)
+			c.retries.Inc()
 		}
 		conn, err := c.get()
 		if err != nil {
@@ -144,6 +172,7 @@ func (c *ShardClient) call(req request) (response, error) {
 		}
 		return resp, nil
 	}
+	c.errs.Inc()
 	return response{}, fmt.Errorf("shard %d (%s): %w", c.id, c.addr, lastErr)
 }
 
@@ -158,13 +187,13 @@ func (c *ShardClient) roundTrip(conn net.Conn, req request) (response, error) {
 	if err == nil {
 		err = bw.Flush()
 	}
-	c.sent.Add(int64(n))
+	c.sent.Add(uint64(n))
 	if err != nil {
 		return response{}, err
 	}
 	var resp response
 	n, err = readFrame(bufio.NewReader(conn), &resp)
-	c.recv.Add(int64(n))
+	c.recv.Add(uint64(n))
 	if err != nil {
 		return response{}, err
 	}

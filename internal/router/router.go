@@ -9,10 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/api"
 	"repro/internal/topk"
@@ -31,6 +31,14 @@ type Options struct {
 	// Timeout bounds each per-shard RPC (0 selects 2s). A query's worst
 	// case is 2x this (retry) plus one epoch-fallback round.
 	Timeout time.Duration
+	// Metrics is the registry /metrics renders from; nil creates a
+	// private one. The router's counters and every shard client's
+	// instruments are registered on it.
+	Metrics *obs.Registry
+	// RequestLog, when non-nil, receives one JSON line per routed
+	// request, carrying the request id that is also forwarded to the
+	// shards.
+	RequestLog *obs.Logger
 }
 
 // Router is the stateless HTTP front of a shard cluster. It serves the
@@ -57,9 +65,14 @@ type Router struct {
 	mux     *http.ServeMux
 	timeout time.Duration
 
-	queries        atomic.Uint64
-	degraded       atomic.Uint64
-	epochFallbacks atomic.Uint64
+	// Counters are obs instruments registered on reg, so the stats
+	// body (which reads them directly) and /metrics render the same
+	// values.
+	queries        obs.Counter
+	degraded       obs.Counter
+	epochFallbacks obs.Counter
+	reg            *obs.Registry
+	reqLog         *obs.Logger
 
 	// Last-good caches backing failure mode 3. Bounded; keyed by query
 	// parameter.
@@ -82,16 +95,39 @@ func New(clients []*ShardClient, opts Options) *Router {
 		timeout:  timeout,
 		lastTopK: make(map[int]api.TopKResponse),
 		lastRank: make(map[uint32]api.RankResponse),
+		reg:      opts.Metrics,
+		reqLog:   opts.RequestLog,
+	}
+	if rt.reg == nil {
+		rt.reg = obs.NewRegistry()
+	}
+	rt.reg.RegisterCounter("router_requests_total",
+		"Queries routed across the /v1 endpoints (method-allowed GETs).", nil, &rt.queries)
+	rt.reg.RegisterCounter("router_degraded_total",
+		"Responses served from the last-good cache because the cluster had no fresh exact answer.", nil, &rt.degraded)
+	rt.reg.RegisterCounter("router_epoch_fallbacks_total",
+		"Queries re-issued pinned to an older epoch because shards straddled a refresh.", nil, &rt.epochFallbacks)
+	rt.reg.GaugeFunc("router_shards",
+		"Number of shards this router fans out to.", nil, func() float64 {
+			return float64(len(clients))
+		})
+	for _, c := range clients {
+		c.Instrument(rt.reg)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/topk", rt.get(rt.handleTopK))
-	mux.HandleFunc("/v1/rank", rt.get(rt.handleRank))
-	mux.HandleFunc("/v1/compare", rt.get(rt.handleCompare))
-	mux.HandleFunc("/v1/stats", rt.get(rt.handleStats))
-	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/v1/topk", rt.handle("topk", true, rt.handleTopK))
+	mux.HandleFunc("/v1/rank", rt.handle("rank", true, rt.handleRank))
+	mux.HandleFunc("/v1/compare", rt.handle("compare", true, rt.handleCompare))
+	mux.HandleFunc("/v1/stats", rt.handle("stats", true, rt.handleStats))
+	mux.HandleFunc("/healthz", rt.handle("healthz", false, rt.handleHealthz))
+	mux.Handle("/metrics", rt.reg.Handler())
 	rt.mux = mux
 	return rt
 }
+
+// Metrics returns the registry /metrics renders from, so embedders
+// (the in-process load generator) can scrape without HTTP.
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
 
 // ServeHTTP implements http.Handler, so the load generator and tests
 // can drive the router in-process exactly like the single-node server.
@@ -100,15 +136,15 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Queries returns the total routed query count.
-func (rt *Router) Queries() uint64 { return rt.queries.Load() }
+func (rt *Router) Queries() uint64 { return rt.queries.Value() }
 
 // Degraded returns how many responses were served from the last-good
 // cache because the cluster could not produce a fresh exact answer.
-func (rt *Router) Degraded() uint64 { return rt.degraded.Load() }
+func (rt *Router) Degraded() uint64 { return rt.degraded.Value() }
 
 // EpochFallbacks returns how many queries re-ran pinned to an older
 // epoch because the shards straddled a refresh.
-func (rt *Router) EpochFallbacks() uint64 { return rt.epochFallbacks.Load() }
+func (rt *Router) EpochFallbacks() uint64 { return rt.epochFallbacks.Value() }
 
 // Retries returns the total per-shard RPC retries after transport
 // errors, summed across all clients.
@@ -118,7 +154,7 @@ func (rt *Router) Retries() uint64 { return rt.sumRetries() }
 // connections, averaged per routed query.
 func (rt *Router) NetworkStats() api.NetworkStats {
 	var ns api.NetworkStats
-	ns.Queries = rt.queries.Load()
+	ns.Queries = rt.queries.Value()
 	for _, c := range rt.clients {
 		ns.BytesSent += c.BytesSent()
 		ns.BytesRecv += c.BytesRecv()
@@ -142,15 +178,45 @@ func (rt *Router) Meter() cluster.MachineMeter {
 	return m
 }
 
-// get wraps a handler with method filtering and query counting.
-func (rt *Router) get(h http.HandlerFunc) http.HandlerFunc {
+// ridHandler is an endpoint handler that receives the request id the
+// instrumentation wrapper resolved, so it can forward it to the shards.
+type ridHandler func(w http.ResponseWriter, r *http.Request, rid string)
+
+// handle wraps one endpoint with instrumentation: a per-endpoint
+// latency histogram, request-id resolution (generated when the client
+// sent none, echoed on the response, forwarded in shard RPC frames),
+// status capture for the request log, and — for gated endpoints —
+// GET/HEAD filtering plus the /v1 query counter. healthz is not gated,
+// preserving its historical accept-anything behavior.
+func (rt *Router) handle(endpoint string, gated bool, h ridHandler) http.HandlerFunc {
+	lat := rt.reg.Latency("router_request_seconds",
+		"Routed request latency by endpoint (shard fan-out included).", obs.Labels{"endpoint": endpoint})
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			serve.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, 0, "use GET")
-			return
+		start := time.Now()
+		rid := obs.EnsureRequestID(w, r)
+		sw := &obs.StatusWriter{ResponseWriter: w}
+		if gated && r.Method != http.MethodGet && r.Method != http.MethodHead {
+			serve.WriteError(sw, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, 0, "use GET")
+		} else {
+			if gated {
+				rt.queries.Inc()
+			}
+			h(sw, r, rid)
 		}
-		rt.queries.Add(1)
-		h(w, r)
+		dur := time.Since(start)
+		lat.Observe(dur)
+		if rt.reqLog.Enabled() {
+			rt.reqLog.Log(obs.Entry{
+				Component: "router",
+				RID:       rid,
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Query:     r.URL.RawQuery,
+				Shards:    len(rt.clients),
+				Status:    sw.Status(),
+				DurMS:     dur.Seconds() * 1e3,
+			})
+		}
 	}
 }
 
@@ -209,8 +275,8 @@ func shardErr(results []shardResult) error {
 // re-issuing pinned queries when shards straddle a refresh. It returns
 // the merged exact response, or an error when any shard cannot
 // contribute.
-func (rt *Router) consistentTopK(k int) (api.TopKResponse, error) {
-	results := rt.fanout(request{V: api.Version, Op: opTopK, K: k})
+func (rt *Router) consistentTopK(k int, rid string) (api.TopKResponse, error) {
+	results := rt.fanout(request{V: api.Version, Op: opTopK, K: k, Rid: rid})
 	for _, r := range results {
 		if !r.ok() {
 			return api.TopKResponse{}, shardErr(results)
@@ -230,8 +296,8 @@ func (rt *Router) consistentTopK(k int) (api.TopKResponse, error) {
 		}
 	}
 	if mixed {
-		rt.epochFallbacks.Add(1)
-		pinned := request{V: api.Version, Op: opTopK, K: k, Epoch: target}
+		rt.epochFallbacks.Inc()
+		pinned := request{V: api.Version, Op: opTopK, K: k, Epoch: target, Rid: rid}
 		for i := range results {
 			if results[i].resp.Epoch == target {
 				continue
@@ -267,13 +333,13 @@ func (rt *Router) consistentTopK(k int) (api.TopKResponse, error) {
 	}, nil
 }
 
-func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
+func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request, rid string) {
 	k, err := parsePositiveInt(r.URL.Query().Get("k"), 20)
 	if err != nil {
 		serve.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, 0, "bad k: %v", err)
 		return
 	}
-	resp, err := rt.consistentTopK(k)
+	resp, err := rt.consistentTopK(k, rid)
 	if err == nil {
 		if k <= maxCachedK {
 			rt.mu.Lock()
@@ -293,12 +359,12 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 			"shard cluster unavailable and no cached answer for k=%d: %v", k, err)
 		return
 	}
-	rt.degraded.Add(1)
+	rt.degraded.Inc()
 	cached.Degraded = true
 	rt.reply(w, cached)
 }
 
-func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request) {
+func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request, rid string) {
 	raw := r.URL.Query().Get("vertex")
 	if raw == "" {
 		serve.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, 0, "missing vertex parameter")
@@ -310,7 +376,7 @@ func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := uint32(v64)
-	results := rt.fanout(request{V: api.Version, Op: opRank, Vertex: v})
+	results := rt.fanout(request{V: api.Version, Op: opRank, Vertex: v, Rid: rid})
 	allOK := true
 	var maxEpoch uint64
 	for _, res := range results {
@@ -353,12 +419,12 @@ func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request) {
 			"shard cluster unavailable and no cached rank for vertex %d: %v", v, shardErr(results))
 		return
 	}
-	rt.degraded.Add(1)
+	rt.degraded.Inc()
 	cached.Degraded = true
 	rt.reply(w, cached)
 }
 
-func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
+func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request, rid string) {
 	// Compare runs a full reference engine over the graph; the router
 	// is stateless by design and holds no graph. Clients run compares
 	// against a shard-side single-node server (or offline).
@@ -369,8 +435,8 @@ func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
 // probe fans the status op out and derives the cluster view shared by
 // stats and health: per-shard rows, the freshest epoch anywhere, and
 // the oldest epoch among live shards (the consistent serving floor).
-func (rt *Router) probe() (rows []api.ShardStatus, maxEpoch, minEpoch uint64, engine api.Engine, seed uint64, healthy bool) {
-	results := rt.fanout(request{V: api.Version, Op: opStatus})
+func (rt *Router) probe(rid string) (rows []api.ShardStatus, maxEpoch, minEpoch uint64, engine api.Engine, seed uint64, healthy bool) {
+	results := rt.fanout(request{V: api.Version, Op: opStatus, Rid: rid})
 	rows = make([]api.ShardStatus, len(results))
 	healthy = true
 	first := true
@@ -384,6 +450,7 @@ func (rt *Router) probe() (rows []api.ShardStatus, maxEpoch, minEpoch uint64, en
 			row.OK = true
 			row.Epoch = r.resp.Epoch
 			row.Owned = r.resp.OwnedCount
+			row.SnapshotAgeSeconds = r.resp.SnapshotAge
 			if r.resp.Epoch > maxEpoch {
 				maxEpoch = r.resp.Epoch
 			}
@@ -407,18 +474,18 @@ func (rt *Router) probe() (rows []api.ShardStatus, maxEpoch, minEpoch uint64, en
 	return rows, maxEpoch, minEpoch, engine, seed, healthy
 }
 
-func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	rows, _, minEpoch, engine, seed, _ := rt.probe()
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request, rid string) {
+	rows, _, minEpoch, engine, seed, _ := rt.probe(rid)
 	rt.reply(w, api.RouterStatsResponse{
 		Epoch:  minEpoch,
 		Engine: engine,
 		Seed:   seed,
 		Shards: rows,
 		Serving: api.RouterStats{
-			Queries:        rt.queries.Load(),
-			Degraded:       rt.degraded.Load(),
+			Queries:        rt.queries.Value(),
+			Degraded:       rt.degraded.Value(),
 			Retries:        rt.sumRetries(),
-			EpochFallbacks: rt.epochFallbacks.Load(),
+			EpochFallbacks: rt.epochFallbacks.Value(),
 		},
 		Network: rt.NetworkStats(),
 	})
@@ -432,8 +499,8 @@ func (rt *Router) sumRetries() uint64 {
 	return total
 }
 
-func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	rows, _, minEpoch, _, _, healthy := rt.probe()
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request, rid string) {
+	rows, _, minEpoch, _, _, healthy := rt.probe(rid)
 	status := "ok"
 	code := http.StatusOK
 	if !healthy {

@@ -7,11 +7,13 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/api"
 	"repro/internal/topk"
@@ -64,7 +66,18 @@ type ShardServer struct {
 	cur  *serve.Snapshot
 	prev *serve.Snapshot
 
-	queries atomic.Uint64
+	// Free-standing obs instruments, live from construction and
+	// exposed on a registry via Instrument. opsByName maps RPC op
+	// names to their counters.
+	queries    obs.Counter
+	opsTopK    obs.Counter
+	opsRank    obs.Counter
+	opsStatus  obs.Counter
+	handleLat  obs.Latency
+	bytesRead  obs.Counter
+	bytesWrite obs.Counter
+
+	reqLog *obs.Logger
 }
 
 // NewShardServer builds a shard over its owned vertex set (as computed
@@ -81,7 +94,51 @@ func (s *ShardServer) ID() int { return s.id }
 func (s *ShardServer) OwnedCount() int { return len(s.owned) }
 
 // Queries returns how many RPC requests the shard has answered.
-func (s *ShardServer) Queries() uint64 { return s.queries.Load() }
+func (s *ShardServer) Queries() uint64 { return s.queries.Value() }
+
+// SetRequestLog makes the shard emit one JSON line per RPC it handles,
+// carrying the router-propagated request id. Call before serving.
+func (s *ShardServer) SetRequestLog(l *obs.Logger) { s.reqLog = l }
+
+// Instrument registers the shard's instruments on reg under the
+// shard_* names, labeled with the shard id. The status RPC and
+// /metrics read the same counters, so the two surfaces agree. Scraping
+// the snapshot gauges reads the store directly — never track() — so a
+// scrape has no side effect on the cur/prev retention ring.
+func (s *ShardServer) Instrument(reg *obs.Registry) {
+	shard := obs.Labels{"shard": strconv.Itoa(s.id)}
+	withOp := func(op string) obs.Labels {
+		return obs.Labels{"shard": strconv.Itoa(s.id), "op": op}
+	}
+	reg.RegisterCounter("shard_requests_total",
+		"RPC requests answered by this shard.", shard, &s.queries)
+	reg.RegisterCounter("shard_ops_total",
+		"RPC requests by operation.", withOp(opTopK), &s.opsTopK)
+	reg.RegisterCounter("shard_ops_total",
+		"RPC requests by operation.", withOp(opRank), &s.opsRank)
+	reg.RegisterCounter("shard_ops_total",
+		"RPC requests by operation.", withOp(opStatus), &s.opsStatus)
+	reg.RegisterLatency("shard_handle_seconds",
+		"RPC handling latency (decode/encode excluded).", shard, &s.handleLat)
+	reg.RegisterCounter("shard_frame_bytes_read_total",
+		"Wire bytes read off shard connections (length prefixes included).", shard, &s.bytesRead)
+	reg.RegisterCounter("shard_frame_bytes_written_total",
+		"Wire bytes written to shard connections (length prefixes included).", shard, &s.bytesWrite)
+	reg.GaugeFunc("shard_snapshot_epoch",
+		"Epoch of the shard's current snapshot (0 before the first publish).", shard, func() float64 {
+			if snap := s.store.Current(); snap != nil {
+				return float64(snap.Epoch)
+			}
+			return 0
+		})
+	reg.GaugeFunc("shard_snapshot_age_seconds",
+		"Seconds since the shard's current snapshot was built (0 before the first publish).", shard, func() float64 {
+			if snap := s.store.Current(); snap != nil {
+				return time.Since(snap.BuiltAt).Seconds()
+			}
+			return 0
+		})
+}
 
 // track refreshes the retention ring against the store and returns the
 // current and previous snapshots.
@@ -116,13 +173,48 @@ func (s *ShardServer) owns(v uint32) bool {
 	return i < len(s.owned) && s.owned[i] == v
 }
 
-// handle answers one RPC request.
+// handle instruments one RPC: op counters, handling latency, and —
+// when a request log is set — one JSON line carrying the propagated
+// request id.
 func (s *ShardServer) handle(req request) response {
+	start := time.Now()
+	resp := s.answer(req)
+	dur := time.Since(start)
+	s.handleLat.Observe(dur)
+	switch req.Op {
+	case opTopK:
+		s.opsTopK.Inc()
+	case opRank:
+		s.opsRank.Inc()
+	case opStatus:
+		s.opsStatus.Inc()
+	}
+	if s.reqLog.Enabled() {
+		e := obs.Entry{
+			Component: "shard",
+			RID:       req.Rid,
+			Op:        req.Op,
+			K:         req.K,
+			Epoch:     resp.Epoch,
+			Code:      resp.Code,
+			Err:       resp.Err,
+			DurMS:     dur.Seconds() * 1e3,
+		}
+		if req.Op == opRank {
+			e.Vertex = strconv.FormatUint(uint64(req.Vertex), 10)
+		}
+		s.reqLog.Log(e)
+	}
+	return resp
+}
+
+// answer computes one RPC response.
+func (s *ShardServer) answer(req request) response {
 	if req.V != api.Version {
 		return errResponse(s.id, api.CodeVersionMismatch,
 			"shard speaks wire version %d, router sent %d", api.Version, req.V)
 	}
-	s.queries.Add(1)
+	s.queries.Inc()
 	switch req.Op {
 	case opTopK:
 		if req.K <= 0 {
@@ -160,10 +252,11 @@ func (s *ShardServer) handle(req request) response {
 		cur, _ := s.track()
 		resp := response{
 			V: api.Version, Shard: s.id,
-			OwnedCount: len(s.owned), Queries: s.queries.Load(),
+			OwnedCount: len(s.owned), Queries: s.queries.Value(),
 		}
 		if cur != nil {
 			resp.Epoch, resp.Engine, resp.Seed = cur.Epoch, cur.Engine, cur.Seed
+			resp.SnapshotAge = time.Since(cur.BuiltAt).Seconds()
 		}
 		return resp
 	}
@@ -179,13 +272,17 @@ func (s *ShardServer) ServeConn(conn net.Conn) error {
 	bw := bufio.NewWriter(conn)
 	for {
 		var req request
-		if _, err := readFrame(br, &req); err != nil {
+		n, err := readFrame(br, &req)
+		s.bytesRead.Add(uint64(n))
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		if _, err := writeFrame(bw, s.handle(req)); err != nil {
+		n, err = writeFrame(bw, s.handle(req))
+		s.bytesWrite.Add(uint64(n))
+		if err != nil {
 			return err
 		}
 		if err := bw.Flush(); err != nil {

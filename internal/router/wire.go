@@ -51,6 +51,10 @@ type request struct {
 	// current. The router sets it when re-issuing a query at an older
 	// epoch because the shards straddle a refresh.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Rid is the propagated request id: the router forwards the HTTP
+	// request's X-Request-Id here so shard-side request logs carry the
+	// same id as the router's (additive, so no version bump).
+	Rid string `json:"rid,omitempty"`
 }
 
 // response is one RPC answer. Code/Err report shard-side failure using
@@ -71,9 +75,12 @@ type response struct {
 	// masters the vertex (exactly one shard does).
 	Owned bool    `json:"owned,omitempty"`
 	Rank  float64 `json:"rank,omitempty"`
-	// OwnedCount and Queries answer opStatus.
-	OwnedCount int    `json:"ownedCount,omitempty"`
-	Queries    uint64 `json:"queries,omitempty"`
+	// OwnedCount, Queries and SnapshotAge answer opStatus. SnapshotAge
+	// is seconds since the shard's current snapshot was built, so the
+	// router can tell a lagging shard from a freshly booted one.
+	OwnedCount  int     `json:"ownedCount,omitempty"`
+	Queries     uint64  `json:"queries,omitempty"`
+	SnapshotAge float64 `json:"snapshotAge,omitempty"`
 }
 
 // errResponse builds a shard-side failure answer.

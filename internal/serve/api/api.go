@@ -107,6 +107,11 @@ type ShardStatus struct {
 	// Owned is the number of vertices the shard masters.
 	Owned int  `json:"owned,omitempty"`
 	OK    bool `json:"ok"`
+	// SnapshotAgeSeconds is how long ago the shard's current snapshot
+	// was built — it distinguishes a shard lagging behind a refresh
+	// (old snapshot, old epoch) from one that just booted (fresh
+	// snapshot at an early epoch). Zero when the shard has no snapshot.
+	SnapshotAgeSeconds float64 `json:"snapshotAgeSeconds,omitempty"`
 	// Error carries the dial/RPC failure when OK is false.
 	Error string `json:"error,omitempty"`
 }

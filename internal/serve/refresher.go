@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // BuildFunc computes one fresh (unpublished) snapshot. The generation
@@ -44,10 +44,22 @@ type Refresher struct {
 	mu         sync.Mutex // serializes builds; guards generation
 	generation uint64
 
-	refreshes   atomic.Uint64
-	errs        atomic.Uint64
-	persistErrs atomic.Uint64
+	// Free-standing obs instruments: they count from construction and
+	// are optionally exposed on a /metrics registry via Instrument —
+	// /v1/stats and the exposition read the very same values.
+	refreshes    obs.Counter
+	errs         obs.Counter
+	persistErrs  obs.Counter
+	stageLat     [3]obs.Latency // indexed by stage{Estimate,Index,Persist}
+	publishDelay obs.Gauge      // seconds from build done to store swap
 }
+
+// Stage indices for stageLat.
+const (
+	stageEstimate = iota
+	stageIndex
+	stagePersist
+)
 
 // NewRefresher wires a refresher to a store. interval is the Run
 // cadence; 0 or negative means Run publishes once and returns
@@ -67,7 +79,27 @@ func (r *Refresher) PersistTo(dir string, onErr func(error)) {
 }
 
 // PersistErrors returns how many snapshot saves failed.
-func (r *Refresher) PersistErrors() uint64 { return r.persistErrs.Load() }
+func (r *Refresher) PersistErrors() uint64 { return r.persistErrs.Value() }
+
+// Instrument registers the refresher's instruments on reg under the
+// refresh_* names. The instruments are live either way — Instrument
+// only exposes them — so /v1/stats (which reads the same counters) and
+// /metrics can never disagree. Call at most once per registry.
+func (r *Refresher) Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("refresh_builds_total",
+		"Snapshots built and published by the background refresher.", nil, &r.refreshes)
+	reg.RegisterCounter("refresh_build_errors_total",
+		"Background snapshot builds that failed (previous snapshot kept serving).", nil, &r.errs)
+	reg.RegisterCounter("refresh_persist_errors_total",
+		"Published snapshots that failed to persist to the snapshot dir.", nil, &r.persistErrs)
+	for i, stage := range []string{"estimate", "index", "persist"} {
+		reg.RegisterLatency("refresh_stage_seconds",
+			"Time spent per snapshot build stage.", obs.Labels{"stage": stage}, &r.stageLat[i])
+	}
+	reg.RegisterGauge("refresh_publish_to_visible_seconds",
+		"Delay between the last build finishing and its snapshot becoming visible to queries.",
+		nil, &r.publishDelay)
+}
 
 // SetGeneration fast-forwards the build-generation counter (never
 // backwards). The warm-start path syncs it to the restored snapshot's
@@ -90,15 +122,31 @@ func (r *Refresher) Refresh() (*Snapshot, error) {
 	defer r.mu.Unlock()
 	snap, err := r.build(r.generation)
 	if err != nil {
-		r.errs.Add(1)
+		r.errs.Inc()
 		return nil, err
 	}
 	r.generation++
-	r.refreshes.Add(1)
+	r.refreshes.Inc()
+	built := snap.BuiltAt
+	if built.IsZero() {
+		built = time.Now()
+	}
 	pub := r.store.Publish(snap)
+	r.publishDelay.Set(time.Since(built).Seconds())
+	// Stage timings are only known for Build-produced snapshots; a
+	// custom BuildFunc that does not fill them records nothing.
+	if pub.EstimateSeconds > 0 {
+		r.stageLat[stageEstimate].Observe(secondsToDuration(pub.EstimateSeconds))
+	}
+	if pub.IndexSeconds > 0 {
+		r.stageLat[stageIndex].Observe(secondsToDuration(pub.IndexSeconds))
+	}
 	if r.persistDir != "" {
-		if err := SaveSnapshot(SnapshotPath(r.persistDir), pub); err != nil {
-			r.persistErrs.Add(1)
+		persistStart := time.Now()
+		err := SaveSnapshot(SnapshotPath(r.persistDir), pub)
+		r.stageLat[stagePersist].Observe(time.Since(persistStart))
+		if err != nil {
+			r.persistErrs.Inc()
 			if r.persistErr != nil {
 				r.persistErr(fmt.Errorf("serve: persisting snapshot epoch %d: %w", pub.Epoch, err))
 			}
@@ -107,11 +155,17 @@ func (r *Refresher) Refresh() (*Snapshot, error) {
 	return pub, nil
 }
 
+// secondsToDuration converts a float seconds stage timing back to a
+// duration for latency recording.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
 // Refreshes returns how many snapshots this refresher has published.
-func (r *Refresher) Refreshes() uint64 { return r.refreshes.Load() }
+func (r *Refresher) Refreshes() uint64 { return r.refreshes.Value() }
 
 // Errors returns how many builds failed.
-func (r *Refresher) Errors() uint64 { return r.errs.Load() }
+func (r *Refresher) Errors() uint64 { return r.errs.Value() }
 
 // Run publishes an initial snapshot if the store is empty or holds
 // only a warm-started (disk-restored) snapshot, then republishes every

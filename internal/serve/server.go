@@ -9,10 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/topk"
 )
@@ -31,6 +31,12 @@ type ServerOptions struct {
 	Compare BuildConfig
 	// Refresher, when set, contributes refresh counters to /v1/stats.
 	Refresher *Refresher
+	// Metrics is the registry /metrics renders from; nil creates a
+	// private one (so /metrics always works). NewService shares one
+	// registry between server and refresher.
+	Metrics *obs.Registry
+	// RequestLog, when non-nil, receives one JSON line per request.
+	RequestLog *obs.Logger
 }
 
 // Server answers the top-k PageRank query over HTTP from whatever
@@ -72,10 +78,16 @@ type Server struct {
 	compareCache   map[Engine][]float64
 	compareFlights flightGroup[string, []float64]
 
-	queries     atomic.Uint64
-	cacheHits   atomic.Uint64
-	compareHits atomic.Uint64
-	coalesced   atomic.Uint64
+	// Serving counters are obs instruments registered on reg, so
+	// /v1/stats (which reads them directly) and /metrics (which renders
+	// the registry) are two views over the same values by construction.
+	queries     obs.Counter
+	cacheHits   obs.Counter
+	compareHits obs.Counter
+	coalesced   obs.Counter
+	reqLat      map[string]*obs.Latency
+	reg         *obs.Registry
+	reqLog      *obs.Logger
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
@@ -84,16 +96,47 @@ type Server struct {
 
 // NewServer builds a server over store.
 func NewServer(store *Store, opts ServerOptions) *Server {
-	s := &Server{store: store, opts: opts}
+	s := &Server{store: store, opts: opts, reg: opts.Metrics, reqLog: opts.RequestLog}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.reg.RegisterCounter("serve_requests_total",
+		"Queries across the /v1 endpoints (method-allowed GETs).", nil, &s.queries)
+	s.reg.RegisterCounter("serve_topk_cache_hits_total",
+		"Top-k queries answered from the per-(epoch,k) body cache.", nil, &s.cacheHits)
+	s.reg.RegisterCounter("serve_compare_cache_hits_total",
+		"Compare queries that reused a cached reference vector.", nil, &s.compareHits)
+	s.reg.RegisterCounter("serve_coalesced_total",
+		"Queries that joined an in-flight identical computation.", nil, &s.coalesced)
+	s.reg.GaugeFunc("serve_snapshot_epoch",
+		"Epoch of the published snapshot (0 before the first publish).", nil, func() float64 {
+			if snap := store.Current(); snap != nil {
+				return float64(snap.Epoch)
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("serve_snapshot_age_seconds",
+		"Seconds since the published snapshot was built (0 before the first publish).", nil, func() float64 {
+			if snap := store.Current(); snap != nil {
+				return time.Since(snap.BuiltAt).Seconds()
+			}
+			return 0
+		})
+	s.reqLat = make(map[string]*obs.Latency)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/topk", s.get(s.handleTopK))
-	mux.HandleFunc("/v1/rank", s.get(s.handleRank))
-	mux.HandleFunc("/v1/compare", s.get(s.handleCompare))
-	mux.HandleFunc("/v1/stats", s.get(s.handleStats))
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/topk", s.handle("topk", true, s.handleTopK))
+	mux.HandleFunc("/v1/rank", s.handle("rank", true, s.handleRank))
+	mux.HandleFunc("/v1/compare", s.handle("compare", true, s.handleCompare))
+	mux.HandleFunc("/v1/stats", s.handle("stats", true, s.handleStats))
+	mux.HandleFunc("/healthz", s.handle("healthz", false, s.handleHealthz))
+	mux.Handle("/metrics", s.reg.Handler())
 	s.mux = mux
 	return s
 }
+
+// Metrics returns the registry /metrics renders from, so embedders
+// (the in-process load generator) can scrape without HTTP.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -111,29 +154,73 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Snapshot() *Snapshot { return s.store.Current() }
 
 // Queries returns the total query count across the /v1 endpoints.
-func (s *Server) Queries() uint64 { return s.queries.Load() }
+func (s *Server) Queries() uint64 { return s.queries.Value() }
 
 // CacheHits returns how many /v1/topk queries were answered from the
 // per-k body cache.
-func (s *Server) CacheHits() uint64 { return s.cacheHits.Load() }
+func (s *Server) CacheHits() uint64 { return s.cacheHits.Value() }
 
 // CompareCacheHits returns how many /v1/compare queries reused a
 // cached reference vector instead of recomputing it.
-func (s *Server) CompareCacheHits() uint64 { return s.compareHits.Load() }
+func (s *Server) CompareCacheHits() uint64 { return s.compareHits.Value() }
 
 // Coalesced returns how many queries joined an in-flight identical
 // computation instead of starting their own.
-func (s *Server) Coalesced() uint64 { return s.coalesced.Load() }
+func (s *Server) Coalesced() uint64 { return s.coalesced.Value() }
 
-// get wraps a handler with method filtering and query counting.
-func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
+// handle wraps one endpoint with instrumentation: a per-endpoint
+// latency histogram, request-id stamping, status capture for the
+// request log, and — for gated endpoints — GET/HEAD filtering plus the
+// /v1 query counter. healthz is not gated, preserving its historical
+// accept-anything behavior.
+func (s *Server) handle(endpoint string, gated bool, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.reg.Latency("serve_request_seconds",
+		"Request handling latency by endpoint.", obs.Labels{"endpoint": endpoint})
+	s.reqLat[endpoint] = lat
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			s.fail(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use GET")
-			return
+		start := time.Now()
+		// The fast path (no request log) stays allocation-free: a
+		// client-supplied X-Request-Id is still sanitized and echoed,
+		// but no rid is generated for requests nobody will trace, and
+		// the response writer is not wrapped (the status is only read
+		// by the log). The router always generates — that is where
+		// cross-process tracing lives, and its hot path is dominated
+		// by the shard fan-out anyway.
+		logged := s.reqLog.Enabled()
+		var rid string
+		if logged || r.Header.Get(obs.RequestIDHeader) != "" {
+			rid = obs.EnsureRequestID(w, r)
 		}
-		s.queries.Add(1)
-		h(w, r)
+		var sw http.ResponseWriter = w
+		if logged {
+			sw = &obs.StatusWriter{ResponseWriter: w}
+		}
+		if gated && r.Method != http.MethodGet && r.Method != http.MethodHead {
+			s.fail(sw, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use GET")
+		} else {
+			if gated {
+				s.queries.Inc()
+			}
+			h(sw, r)
+		}
+		dur := time.Since(start)
+		lat.Observe(dur)
+		if logged {
+			var epoch uint64
+			if snap := s.store.Current(); snap != nil {
+				epoch = snap.Epoch
+			}
+			s.reqLog.Log(obs.Entry{
+				Component: "serve",
+				RID:       rid,
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Query:     r.URL.RawQuery,
+				Status:    sw.(*obs.StatusWriter).Status(),
+				Epoch:     epoch,
+				DurMS:     dur.Seconds() * 1e3,
+			})
+		}
 	}
 }
 
@@ -213,7 +300,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		if s.topkEpoch == snap.Epoch {
 			if body, ok := s.topkCache[k]; ok {
 				s.topkMu.Unlock()
-				s.cacheHits.Add(1)
+				s.cacheHits.Inc()
 				s.reply(w, body)
 				return
 			}
@@ -225,7 +312,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return marshalTopK(snap, k)
 	})
 	if shared {
-		s.coalesced.Add(1)
+		s.coalesced.Inc()
 	}
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
@@ -289,7 +376,7 @@ func (s *Server) referenceRanks(snap *Snapshot, engine Engine) ([]float64, error
 	if s.compareEpoch == snap.Epoch {
 		if ranks, ok := s.compareCache[engine]; ok {
 			s.compareMu.Unlock()
-			s.compareHits.Add(1)
+			s.compareHits.Inc()
 			return ranks, nil
 		}
 	}
@@ -312,7 +399,7 @@ func (s *Server) referenceRanks(snap *Snapshot, engine Engine) ([]float64, error
 		return computeRanks(snap.Graph, cfg)
 	})
 	if shared {
-		s.coalesced.Add(1)
+		s.coalesced.Inc()
 	}
 	if err != nil {
 		return nil, err
@@ -374,10 +461,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // shards reuse it so their RPC stats match the single-node body.
 func (s *Server) StatsBody(snap *Snapshot) api.StatsResponse {
 	serving := api.ServeStats{
-		Queries:          s.queries.Load(),
-		TopKCacheHits:    s.cacheHits.Load(),
-		CompareCacheHits: s.compareHits.Load(),
-		Coalesced:        s.coalesced.Load(),
+		Queries:          s.queries.Value(),
+		TopKCacheHits:    s.cacheHits.Value(),
+		CompareCacheHits: s.compareHits.Value(),
+		Coalesced:        s.coalesced.Value(),
 	}
 	if ref := s.opts.Refresher; ref != nil {
 		serving.Refreshes = ref.Refreshes()

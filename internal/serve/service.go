@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ServiceConfig bundles everything the one-call service needs.
@@ -30,6 +31,12 @@ type ServiceConfig struct {
 	// provenance while the first fresh build runs in the background.
 	// Empty disables persistence.
 	SnapshotDir string
+	// Metrics is the registry the server's /metrics endpoint renders;
+	// the refresher's instruments are registered on it too. Nil creates
+	// a private registry, so /metrics works either way.
+	Metrics *obs.Registry
+	// RequestLog, when non-nil, receives one JSON line per request.
+	RequestLog *obs.Logger
 }
 
 // ListenAndServe builds or restores an initial snapshot of g, starts
@@ -64,6 +71,11 @@ func ListenAndServe(ctx context.Context, addr string, g *graph.Graph, cfg Servic
 func NewService(g *graph.Graph, cfg ServiceConfig) (*Server, *Refresher, error) {
 	store := NewStore()
 	refresher := NewRefresher(store, EngineBuilder(g, cfg.Build), cfg.RefreshInterval)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	refresher.Instrument(reg)
 	if cfg.SnapshotDir != "" {
 		// A snapshot dir that cannot exist is a configuration error:
 		// failing loudly here beats a service that looks healthy but
@@ -88,6 +100,11 @@ func NewService(g *graph.Graph, cfg ServiceConfig) (*Server, *Refresher, error) 
 			return nil, nil, err
 		}
 	}
-	srv := NewServer(store, ServerOptions{Compare: cfg.Build, Refresher: refresher})
+	srv := NewServer(store, ServerOptions{
+		Compare:    cfg.Build,
+		Refresher:  refresher,
+		Metrics:    reg,
+		RequestLog: cfg.RequestLog,
+	})
 	return srv, refresher, nil
 }

@@ -133,6 +133,12 @@ type Snapshot struct {
 	// estimate took to compute.
 	BuiltAt      time.Time
 	BuildSeconds float64
+	// EstimateSeconds/IndexSeconds split BuildSeconds into its stages:
+	// the engine run producing Ranks, and the top-index/stats
+	// construction. Zero when the snapshot was not produced by Build
+	// (warm starts, FromRanks). Never persisted.
+	EstimateSeconds float64
+	IndexSeconds    float64
 	// Graph is the graph the estimate was computed on, retained for
 	// on-demand comparison runs.
 	Graph *graph.Graph
@@ -217,10 +223,13 @@ func Build(g *graph.Graph, cfg BuildConfig) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	estimated := time.Now()
 	snap, err := FromRanks(g, cfg.Engine, cfg.Seed, ranks, cfg.MaxK)
 	if err != nil {
 		return nil, err
 	}
+	snap.EstimateSeconds = estimated.Sub(start).Seconds()
+	snap.IndexSeconds = time.Since(estimated).Seconds()
 	snap.BuildSeconds = time.Since(start).Seconds()
 	return snap, nil
 }
