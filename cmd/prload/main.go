@@ -92,7 +92,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ramp     = fs.Int("ramp", 1, "closed-loop ramp stages (concurrency rises linearly across them)")
 		open     = fs.Bool("open", false, "open loop: fixed arrival schedule instead of back-to-back workers")
 		rate     = fs.Float64("rate", 0, "open-loop arrival rate, queries/s (required with -open)")
-		mix      = fs.String("mix", "", "query mix weights, e.g. topk=0.6,rank=0.3,stats=0.1 (default that)")
+		mix      = fs.String("mix", "", "query mix weights, e.g. topk=0.6,rank=0.3,stats=0.1 (default that; add ppr=W for personalized-PageRank traffic)")
 		zipfS    = fs.Float64("zipf-s", 1.1, "key-popularity Zipf exponent for k and vertex draws")
 		maxK     = fs.Int("maxk", 100, "topk k parameter upper bound")
 		vertices = fs.Int("vertices", 0, "rank-query vertex id space (default: the graph's size; required with -url when rank traffic is in the mix)")
@@ -317,17 +317,29 @@ func serverEntry(exposition []byte) (loadgen.BenchEntry, error) {
 	if topkReqs > 0 {
 		hitRate = topkHits / topkReqs
 	}
+	pprHits := obs.FamilySum(series, "ppr_cache_hits_total")
+	pprReqs := obs.FamilySum(series, "ppr_requests_total")
+	pprHitRate := 0.0
+	if pprReqs > 0 {
+		pprHitRate = pprHits / pprReqs
+	}
 	return loadgen.BenchEntry{
 		Name:       "prload/server",
 		Iterations: int64(requests),
 		Metrics: map[string]float64{
-			"requests":       requests,
-			"topkCacheHits":  topkHits,
-			"cacheHitRate":   hitRate,
-			"coalesced":      obs.FamilySum(series, "serve_coalesced_total"),
-			"epochFallbacks": obs.FamilySum(series, "router_epoch_fallbacks_total"),
-			"degradedServes": obs.FamilySum(series, "router_degraded_total"),
-			"rpcRetries":     obs.FamilySum(series, "router_shard_rpc_retries_total"),
+			"requests":        requests,
+			"topkCacheHits":   topkHits,
+			"cacheHitRate":    hitRate,
+			"coalesced":       obs.FamilySum(series, "serve_coalesced_total"),
+			"epochFallbacks":  obs.FamilySum(series, "router_epoch_fallbacks_total"),
+			"degradedServes":  obs.FamilySum(series, "router_degraded_total"),
+			"rpcRetries":      obs.FamilySum(series, "router_shard_rpc_retries_total"),
+			"pprQueries":      pprReqs,
+			"pprCacheHits":    pprHits,
+			"pprCacheHitRate": pprHitRate,
+			"pprWalks":        obs.FamilySum(series, "ppr_walks_total"),
+			"pprTruncated":    obs.FamilySum(series, "ppr_truncated_total"),
+			"pprUnsupported":  obs.FamilySum(series, "router_ppr_unsupported_total"),
 		},
 	}, nil
 }
@@ -425,6 +437,10 @@ func buildInProcess(path, cache, snapDir, genType string, n int, engine string, 
 			MaxK:     maxK,
 		},
 		SnapshotDir: snapDir,
+		// The workload draws ppr k on the same [1, maxK] range as topk
+		// k, so the endpoint's k bound must track the flag or a raised
+		// -maxk would turn ppr traffic into 400s.
+		PPR: serve.PPROptions{MaxK: maxK},
 	})
 	if err != nil {
 		return nil, 0, err
@@ -432,8 +448,8 @@ func buildInProcess(path, cache, snapDir, genType string, n int, engine string, 
 	return srv, g.NumVertices(), nil
 }
 
-// parseMix parses "topk=0.6,rank=0.3,stats=0.1" (weights are relative;
-// omitted endpoints get weight 0).
+// parseMix parses "topk=0.45,rank=0.25,ppr=0.2,stats=0.1" (weights are
+// relative; omitted endpoints get weight 0).
 func parseMix(s string) (loadgen.Mix, error) {
 	var m loadgen.Mix
 	for _, part := range strings.Split(s, ",") {
@@ -450,10 +466,12 @@ func parseMix(s string) (loadgen.Mix, error) {
 			m.TopK = w
 		case "rank":
 			m.Rank = w
+		case "ppr":
+			m.PPR = w
 		case "stats":
 			m.Stats = w
 		default:
-			return m, fmt.Errorf("unknown mix endpoint %q (want topk|rank|stats)", key)
+			return m, fmt.Errorf("unknown mix endpoint %q (want topk|rank|ppr|stats)", key)
 		}
 	}
 	return m, nil

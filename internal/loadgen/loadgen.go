@@ -1,6 +1,6 @@
 // Package loadgen is a deterministic load generator for the top-k
-// PageRank query service: it drives the /v1/topk, /v1/rank and
-// /v1/stats endpoints with Zipf-skewed key popularity and measures
+// PageRank query service: it drives the /v1/topk, /v1/rank, /v1/ppr
+// and /v1/stats endpoints with Zipf-skewed key popularity and measures
 // per-endpoint latency distributions with internal/hist.
 //
 // Determinism is the design center, matching the rest of the repo: the
@@ -48,33 +48,38 @@ const (
 	EndpointTopK Endpoint = "topk"
 	// EndpointRank is GET /v1/rank?vertex=V.
 	EndpointRank Endpoint = "rank"
+	// EndpointPPR is GET /v1/ppr?source=V&k=K.
+	EndpointPPR Endpoint = "ppr"
 	// EndpointStats is GET /v1/stats.
 	EndpointStats Endpoint = "stats"
 )
 
 // Endpoints lists the endpoints in their fixed report order.
-var Endpoints = []Endpoint{EndpointTopK, EndpointRank, EndpointStats}
+var Endpoints = []Endpoint{EndpointTopK, EndpointRank, EndpointPPR, EndpointStats}
 
 // Mix weights the query kinds. Weights are relative (they need not sum
 // to 1); the zero value selects the default serving mix of 60% topk,
-// 30% rank, 10% stats.
+// 30% rank, 10% stats (no ppr: a PPR query costs thousands of walks,
+// so it is opt-in traffic, and schedules predating the endpoint stay
+// bit-identical).
 type Mix struct {
 	TopK  float64
 	Rank  float64
+	PPR   float64
 	Stats float64
 }
 
 // withDefaults normalizes the mix, substituting the default when all
 // weights are zero.
 func (m Mix) withDefaults() (Mix, error) {
-	if m.TopK == 0 && m.Rank == 0 && m.Stats == 0 {
+	if m.TopK == 0 && m.Rank == 0 && m.PPR == 0 && m.Stats == 0 {
 		return Mix{TopK: 0.6, Rank: 0.3, Stats: 0.1}, nil
 	}
-	if m.TopK < 0 || m.Rank < 0 || m.Stats < 0 {
+	if m.TopK < 0 || m.Rank < 0 || m.PPR < 0 || m.Stats < 0 {
 		return Mix{}, fmt.Errorf("loadgen: negative mix weight %+v", m)
 	}
-	total := m.TopK + m.Rank + m.Stats
-	return Mix{TopK: m.TopK / total, Rank: m.Rank / total, Stats: m.Stats / total}, nil
+	total := m.TopK + m.Rank + m.PPR + m.Stats
+	return Mix{TopK: m.TopK / total, Rank: m.Rank / total, PPR: m.PPR / total, Stats: m.Stats / total}, nil
 }
 
 // Config fixes a workload. Together with the seed it determines the
@@ -110,9 +115,9 @@ type Config struct {
 	// MaxK bounds topk's k parameter (k is Zipf-distributed on
 	// [1, MaxK], small k most popular). Default 100.
 	MaxK int
-	// Vertices is the id space for rank queries (vertex ids are drawn
-	// Zipf-skewed from [0, Vertices)). Required when the mix includes
-	// rank traffic.
+	// Vertices is the id space for rank queries and ppr sources (ids
+	// are drawn Zipf-skewed from [0, Vertices)). Required when the mix
+	// includes rank or ppr traffic.
 	Vertices int
 }
 
@@ -149,8 +154,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Mix, err = c.Mix.withDefaults(); err != nil {
 		return c, err
 	}
-	if c.Mix.Rank > 0 && c.Vertices <= 0 {
-		return c, errors.New("loadgen: Vertices required for rank traffic")
+	if (c.Mix.Rank > 0 || c.Mix.PPR > 0) && c.Vertices <= 0 {
+		return c, errors.New("loadgen: Vertices required for rank or ppr traffic")
 	}
 	return c, nil
 }
@@ -169,9 +174,11 @@ type Op struct {
 	Index int
 	// Endpoint says which query kind this is.
 	Endpoint Endpoint
-	// K is the topk parameter (EndpointTopK only).
+	// K is the topk parameter (EndpointTopK and EndpointPPR).
 	K int
-	// Vertex is the rank parameter (EndpointRank only).
+	// Vertex is the rank parameter, or the ppr source (Zipf-skewed
+	// either way: hot sources repeat, which is what makes the server's
+	// hot-source cache measurable).
 	Vertex uint32
 	// Arrival is the open-loop offset from the phase start (zero in
 	// closed loop, and for warmup ops).
@@ -187,6 +194,8 @@ func (op Op) URL() string {
 		return fmt.Sprintf("/v1/topk?k=%d", op.K)
 	case EndpointRank:
 		return fmt.Sprintf("/v1/rank?vertex=%d", op.Vertex)
+	case EndpointPPR:
+		return fmt.Sprintf("/v1/ppr?source=%d&k=%d", op.Vertex, op.K)
 	default:
 		return "/v1/stats"
 	}
@@ -207,7 +216,7 @@ func Schedule(cfg Config) ([]Op, error) {
 	arrivalRng := rng.Derive(cfg.Seed, 'a')
 	kZipf := rng.NewZipf(cfg.ZipfS, 1, cfg.MaxK)
 	var vZipf *rng.Zipf
-	if cfg.Mix.Rank > 0 {
+	if cfg.Mix.Rank > 0 || cfg.Mix.PPR > 0 {
 		vZipf = rng.NewZipf(cfg.ZipfS, 1, cfg.Vertices)
 	}
 
@@ -223,6 +232,12 @@ func Schedule(cfg Config) ([]Op, error) {
 		case u < cfg.Mix.TopK+cfg.Mix.Rank:
 			op.Endpoint = EndpointRank
 			op.Vertex = uint32(vZipf.Sample(keyRng) - 1)
+		case u < cfg.Mix.TopK+cfg.Mix.Rank+cfg.Mix.PPR:
+			// PPR sits between rank and the stats default, so a mix
+			// with PPR = 0 reproduces pre-ppr schedules bit-for-bit.
+			op.Endpoint = EndpointPPR
+			op.Vertex = uint32(vZipf.Sample(keyRng) - 1)
+			op.K = kZipf.Sample(keyRng)
 		default:
 			op.Endpoint = EndpointStats
 		}
@@ -310,9 +325,9 @@ func (r *Report) QueriesPerSecond() float64 {
 // workerStats is one worker's lock-free accumulation; merged after the
 // run in fixed endpoint order.
 type workerStats struct {
-	counts [3]uint64
-	errs   [3]uint64
-	hists  [3]hist.Histogram
+	counts [4]uint64
+	errs   [4]uint64
+	hists  [4]hist.Histogram
 }
 
 func endpointSlot(ep Endpoint) int {
@@ -321,8 +336,10 @@ func endpointSlot(ep Endpoint) int {
 		return 0
 	case EndpointRank:
 		return 1
-	default:
+	case EndpointPPR:
 		return 2
+	default:
+		return 3
 	}
 }
 

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"reflect"
 	"testing"
@@ -84,7 +85,7 @@ func TestScheduleShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var counts [3]int
+	var counts [4]int
 	kOnes := 0
 	for _, op := range ops {
 		counts[endpointSlot(op.Endpoint)]++
@@ -109,8 +110,11 @@ func TestScheduleShape(t *testing.T) {
 	if counts[1] < 2500 || counts[1] > 3500 {
 		t.Errorf("rank count %d far from 3000", counts[1])
 	}
-	if counts[2] < 700 || counts[2] > 1300 {
-		t.Errorf("stats count %d far from 1000", counts[2])
+	if counts[2] != 0 {
+		t.Errorf("ppr count %d; default mix must not schedule ppr", counts[2])
+	}
+	if counts[3] < 700 || counts[3] > 1300 {
+		t.Errorf("stats count %d far from 1000", counts[3])
 	}
 	// Zipf skew: k=1 must dominate the topk draw (≈1/H weight, far
 	// above uniform 1%).
@@ -358,5 +362,67 @@ func TestHTTPTargetBadURL(t *testing.T) {
 	res := HTTPTarget{BaseURL: "http://127.0.0.1:0"}.Do(context.Background(), Op{Endpoint: EndpointStats})
 	if res.Err == nil {
 		t.Fatal("dial to port 0 succeeded?")
+	}
+}
+
+// TestSchedulePPRMix checks the ppr endpoint weight: ppr ops are drawn
+// at roughly the configured share with Zipf-skewed sources and bounded
+// k, and — the compatibility pin — a mix with PPR = 0 reproduces the
+// pre-ppr schedule bit-for-bit (the draw sits between rank and the
+// stats default, so old baselines stay comparable).
+func TestSchedulePPRMix(t *testing.T) {
+	cfg := testConfig()
+	cfg.Queries = 10000
+	cfg.Warmup = 0
+	cfg.Mix = Mix{TopK: 0.45, Rank: 0.25, PPR: 0.2, Stats: 0.1}
+	ops, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprs := 0
+	sourceOnes := 0
+	for _, op := range ops {
+		if op.Endpoint != EndpointPPR {
+			continue
+		}
+		pprs++
+		if int(op.Vertex) >= cfg.Vertices {
+			t.Fatalf("ppr source %d outside id space", op.Vertex)
+		}
+		if op.K < 1 || op.K > cfg.MaxK && cfg.MaxK > 0 {
+			t.Fatalf("ppr k=%d out of range", op.K)
+		}
+		if op.Vertex == 0 {
+			sourceOnes++
+		}
+		if want := fmt.Sprintf("/v1/ppr?source=%d&k=%d", op.Vertex, op.K); op.URL() != want {
+			t.Fatalf("ppr URL %q, want %q", op.URL(), want)
+		}
+	}
+	if pprs < 1500 || pprs > 2500 {
+		t.Errorf("ppr count %d far from 2000", pprs)
+	}
+	// Zipf skew: the hottest source must dominate, far above uniform.
+	if sourceOnes*20 < pprs {
+		t.Errorf("source 0 drawn %d/%d times; Zipf skew missing", sourceOnes, pprs)
+	}
+
+	// Compatibility: explicit weights matching the default mix with
+	// PPR = 0 produce the identical schedule.
+	legacy := testConfig()
+	legacy.Queries = 10000
+	legacy.Warmup = 0
+	a, err := Schedule(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZero := legacy
+	withZero.Mix = Mix{TopK: 0.6, Rank: 0.3, PPR: 0, Stats: 0.1}
+	b, err := Schedule(withZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PPR=0 mix perturbed the schedule; pre-ppr baselines broken")
 	}
 }

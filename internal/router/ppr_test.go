@@ -1,0 +1,66 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/serve/api"
+)
+
+// TestRouterPPRUnsupported pins the router's /v1/ppr refusal: an
+// explicit 501 with the shared envelope at code "unsupported" (not a
+// 404, not a generic 5xx), counted on its own instrument that both
+// /v1/stats and /metrics report.
+func TestRouterPPRUnsupported(t *testing.T) {
+	g := testGraph(t)
+	store := serve.NewStore()
+	publishRanks(t, store, g, tieRanks(g.NumVertices(), 42))
+	rt := newRouter(newShards(t, g, []*serve.Store{store, store}), Options{})
+
+	for i := 0; i < 3; i++ {
+		code, body := get(t, rt, "/v1/ppr?source=7&k=5")
+		if code != http.StatusNotImplemented {
+			t.Fatalf("GET /v1/ppr status = %d, want %d (body %s)", code, http.StatusNotImplemented, body)
+		}
+		var env api.Error
+		if err := json.Unmarshal([]byte(body), &env); err != nil {
+			t.Fatalf("decode envelope: %v (body %s)", err, body)
+		}
+		if env.Code != api.CodeUnsupported {
+			t.Fatalf("envelope code = %q, want %q", env.Code, api.CodeUnsupported)
+		}
+		if env.Message == "" {
+			t.Fatal("envelope message empty; the refusal must say why")
+		}
+	}
+
+	// The refusals are tracked apart from generic totals: the dedicated
+	// counter holds exactly the /v1/ppr hits, and the stats body and
+	// exposition agree on it.
+	if got := rt.pprUnsupported.Value(); got != 3 {
+		t.Fatalf("pprUnsupported = %d, want 3", got)
+	}
+	code, body := get(t, rt, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/stats status = %d (body %s)", code, body)
+	}
+	var stats api.RouterStatsResponse
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Serving.PPRUnsupported != 3 {
+		t.Fatalf("stats pprUnsupported = %d, want 3", stats.Serving.PPRUnsupported)
+	}
+	// 3 ppr + 1 stats: refusals still count as routed queries, they are
+	// just additionally attributed.
+	if stats.Serving.Queries != 4 {
+		t.Fatalf("stats queries = %d, want 4", stats.Serving.Queries)
+	}
+	_, metrics := get(t, rt, "/metrics")
+	if !strings.Contains(metrics, "router_ppr_unsupported_total 3") {
+		t.Fatalf("/metrics missing router_ppr_unsupported_total 3:\n%s", metrics)
+	}
+}

@@ -71,6 +71,7 @@ type Router struct {
 	queries        obs.Counter
 	degraded       obs.Counter
 	epochFallbacks obs.Counter
+	pprUnsupported obs.Counter
 	reg            *obs.Registry
 	reqLog         *obs.Logger
 
@@ -107,6 +108,8 @@ func New(clients []*ShardClient, opts Options) *Router {
 		"Responses served from the last-good cache because the cluster had no fresh exact answer.", nil, &rt.degraded)
 	rt.reg.RegisterCounter("router_epoch_fallbacks_total",
 		"Queries re-issued pinned to an older epoch because shards straddled a refresh.", nil, &rt.epochFallbacks)
+	rt.reg.RegisterCounter("router_ppr_unsupported_total",
+		"PPR queries refused with 501 unsupported (the router holds no graph to walk).", nil, &rt.pprUnsupported)
 	rt.reg.GaugeFunc("router_shards",
 		"Number of shards this router fans out to.", nil, func() float64 {
 			return float64(len(clients))
@@ -117,6 +120,7 @@ func New(clients []*ShardClient, opts Options) *Router {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/topk", rt.handle("topk", true, rt.handleTopK))
 	mux.HandleFunc("/v1/rank", rt.handle("rank", true, rt.handleRank))
+	mux.HandleFunc("/v1/ppr", rt.handle("ppr", true, rt.handlePPR))
 	mux.HandleFunc("/v1/compare", rt.handle("compare", true, rt.handleCompare))
 	mux.HandleFunc("/v1/stats", rt.handle("stats", true, rt.handleStats))
 	mux.HandleFunc("/healthz", rt.handle("healthz", false, rt.handleHealthz))
@@ -424,6 +428,18 @@ func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request, rid string)
 	rt.reply(w, cached)
 }
 
+// handlePPR refuses personalized PageRank explicitly: walks need the
+// graph's adjacency, which the stateless router does not hold, and the
+// shard RPC protocol has no walk op yet. The refusal is a deliberate
+// 501 with code "unsupported" — not a 404, not folded into generic
+// errors — and counted on its own instrument so a client mis-targeting
+// PPR at a router shows up in /v1/stats and /metrics.
+func (rt *Router) handlePPR(w http.ResponseWriter, r *http.Request, rid string) {
+	rt.pprUnsupported.Inc()
+	serve.WriteError(w, http.StatusNotImplemented, api.CodeUnsupported, 0,
+		"ppr is not available on the router: walks need the graph; query a single-node server")
+}
+
 func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request, rid string) {
 	// Compare runs a full reference engine over the graph; the router
 	// is stateless by design and holds no graph. Clients run compares
@@ -486,6 +502,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request, rid string
 			Degraded:       rt.degraded.Value(),
 			Retries:        rt.sumRetries(),
 			EpochFallbacks: rt.epochFallbacks.Value(),
+			PPRUnsupported: rt.pprUnsupported.Value(),
 		},
 		Network: rt.NetworkStats(),
 	})

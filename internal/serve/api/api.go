@@ -43,6 +43,24 @@ type TopKResponse struct {
 	Degraded bool        `json:"degraded,omitempty"`
 }
 
+// PPRResponse is the /v1/ppr body: the top-k personalized PageRank of
+// a source set, estimated by request-time random walks. Sources echoes
+// the canonical (sorted, deduplicated) source set the walks restarted
+// at; Walks is the total walk count actually executed; Truncated is
+// set when the per-request walk budget forced fewer walks per source
+// than configured (the result is still valid, just noisier). Within
+// one epoch, identical requests produce bit-identical bodies.
+type PPRResponse struct {
+	Epoch     uint64      `json:"epoch"`
+	Engine    Engine      `json:"engine"`
+	Seed      uint64      `json:"seed"`
+	Sources   []uint32    `json:"sources"`
+	K         int         `json:"k"`
+	Walks     int         `json:"walks"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Entries   []TopKEntry `json:"entries"`
+}
+
 // RankResponse is the /v1/rank body.
 type RankResponse struct {
 	Epoch    uint64  `json:"epoch"`
@@ -77,7 +95,9 @@ type GraphStats struct {
 	GiniOut   float64 `json:"giniOut"`
 }
 
-// ServeStats counts one server's query-path activity.
+// ServeStats counts one server's query-path activity. The PPR fields
+// are additive (omitempty) and absent from deployments that predate
+// the endpoint, so no Version bump.
 type ServeStats struct {
 	Queries          uint64 `json:"queries"`
 	TopKCacheHits    uint64 `json:"topkCacheHits"`
@@ -85,6 +105,12 @@ type ServeStats struct {
 	Coalesced        uint64 `json:"coalesced"`
 	Refreshes        uint64 `json:"refreshes"`
 	BuildErrors      uint64 `json:"buildErrors"`
+	// PPRQueries counts /v1/ppr requests; PPRCacheHits of those were
+	// answered from the hot-source LRU; PPRWalks is the total random
+	// walks executed on their behalf.
+	PPRQueries   uint64 `json:"pprQueries,omitempty"`
+	PPRCacheHits uint64 `json:"pprCacheHits,omitempty"`
+	PPRWalks     uint64 `json:"pprWalks,omitempty"`
 }
 
 // StatsResponse is the single-node /v1/stats body.
@@ -152,6 +178,11 @@ type RouterStats struct {
 	// EpochFallbacks counts queries re-issued at an older epoch because
 	// the shards disagreed on the current one.
 	EpochFallbacks uint64 `json:"epochFallbacks"`
+	// PPRUnsupported counts /v1/ppr requests refused with 501
+	// unsupported — the router holds no graph to walk. Tracked apart
+	// from generic totals so a client mis-targeting PPR at a router is
+	// visible in stats, not folded into request noise.
+	PPRUnsupported uint64 `json:"pprUnsupported,omitempty"`
 }
 
 // RouterStatsResponse is the router's /v1/stats body.

@@ -37,6 +37,9 @@ type ServerOptions struct {
 	Metrics *obs.Registry
 	// RequestLog, when non-nil, receives one JSON line per request.
 	RequestLog *obs.Logger
+	// PPR tunes the /v1/ppr endpoint (walk budget, cache, batch
+	// executor); the zero value serves with defaults.
+	PPR PPROptions
 }
 
 // Server answers the top-k PageRank query over HTTP from whatever
@@ -47,6 +50,10 @@ type ServerOptions struct {
 //
 //	/v1/topk?k=20            top-k vertices with scores
 //	/v1/rank?vertex=17       one vertex's estimated rank
+//	/v1/ppr?source=7&k=20    top-k personalized PageRank of a source
+//	                         set (sources=a,b,c for multi-source),
+//	                         estimated by request-time walks under a
+//	                         bounded budget (see ppr.go)
 //	/v1/compare?engine=exact&k=20
 //	                         accuracy of the served estimate vs another
 //	                         engine run on the same graph (computed on
@@ -89,6 +96,10 @@ type Server struct {
 	reg         *obs.Registry
 	reqLog      *obs.Logger
 
+	// ppr owns the /v1/ppr walk executor, hot-source LRU and
+	// instruments (see ppr.go).
+	ppr *pprEngine
+
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
 	listener net.Listener
@@ -122,10 +133,12 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 			}
 			return 0
 		})
+	s.ppr = newPPREngine(opts.PPR, s.reg)
 	s.reqLat = make(map[string]*obs.Latency)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/topk", s.handle("topk", true, s.handleTopK))
 	mux.HandleFunc("/v1/rank", s.handle("rank", true, s.handleRank))
+	mux.HandleFunc("/v1/ppr", s.handle("ppr", true, s.handlePPR))
 	mux.HandleFunc("/v1/compare", s.handle("compare", true, s.handleCompare))
 	mux.HandleFunc("/v1/stats", s.handle("stats", true, s.handleStats))
 	mux.HandleFunc("/healthz", s.handle("healthz", false, s.handleHealthz))
@@ -465,6 +478,9 @@ func (s *Server) StatsBody(snap *Snapshot) api.StatsResponse {
 		TopKCacheHits:    s.cacheHits.Value(),
 		CompareCacheHits: s.compareHits.Value(),
 		Coalesced:        s.coalesced.Value(),
+		PPRQueries:       s.ppr.queries.Value(),
+		PPRCacheHits:     s.ppr.cacheHits.Value(),
+		PPRWalks:         s.ppr.walks.Value(),
 	}
 	if ref := s.opts.Refresher; ref != nil {
 		serving.Refreshes = ref.Refreshes()

@@ -37,6 +37,9 @@ type ServiceConfig struct {
 	Metrics *obs.Registry
 	// RequestLog, when non-nil, receives one JSON line per request.
 	RequestLog *obs.Logger
+	// PPR tunes the /v1/ppr endpoint (walk budget, hot-source cache,
+	// batch executor); the zero value serves with defaults.
+	PPR PPROptions
 }
 
 // ListenAndServe builds or restores an initial snapshot of g, starts
@@ -105,6 +108,7 @@ func NewService(g *graph.Graph, cfg ServiceConfig) (*Server, *Refresher, error) 
 		Refresher:  refresher,
 		Metrics:    reg,
 		RequestLog: cfg.RequestLog,
+		PPR:        cfg.PPR,
 	})
 	return srv, refresher, nil
 }

@@ -366,6 +366,24 @@ func ExactPersonalizedPageRank(g *Graph, sources []VertexID, teleport float64) (
 	return frogwild.ExactPPR(g, sources, teleport, 0, 0)
 }
 
+// PPROptions tunes the serving layer's /v1/ppr endpoint: per-source
+// walk count, the hard per-request walk budget, the hot-source LRU
+// size/TTL, and the batch executor's worker pool. The zero value
+// serves with defaults. Set it on ServeConfig's PPR field.
+type PPROptions = serve.PPROptions
+
+// PersonalizedTopK estimates the top-k personalized PageRank of the
+// source set over a serving snapshot with the same bounded-budget walk
+// estimator /v1/ppr serves: truncated-geometric walk lengths, dangling
+// mass restarting at the sources, all randomness derived from the
+// snapshot's seed and epoch. The boolean reports whether the walk
+// budget truncated the per-source walk count. The entries are
+// bit-identical to the served /v1/ppr response's for the same
+// snapshot, sources, k and options.
+func PersonalizedTopK(s *Snapshot, sources []VertexID, k int, opts PPROptions) ([]TopEntry, bool, error) {
+	return serve.PPRTopK(s, sources, k, opts)
+}
+
 // Erasure selects the Appendix A edge-erasure model variant.
 type Erasure = frogwild.Erasure
 
