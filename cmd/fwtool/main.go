@@ -1,6 +1,6 @@
 // Command fwtool inspects any file written in a registered
 // checksummed-section format (internal/secfile) — today the gstore CSR
-// graph format ("FWGSTOR1") and the serving layer's snapshot format
+// graph format ("FWGSTOR1"/"FWGSTOR2") and the serving layer's snapshot format
 // ("FWSNAP01") — through the shared codec alone: no format-specific
 // decode code runs, which is the point. A format that registers its
 // schema is inspectable for free.
@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/graph/pcache"
 	"repro/internal/secfile"
 
 	// Formats register their schemas from init; importing them is what
@@ -147,9 +148,18 @@ func printInfo(w io.Writer, info secfile.Info, f *secfile.File) {
 			fmt.Fprintf(w, "  %-14s %s\n", field.Name, field.Value)
 		}
 	}
-	fmt.Fprintf(w, "%-14s %10s %12s  %s\n", "section", "offset", "length", "crc64")
+	fmt.Fprintf(w, "%-14s %10s %12s %7s  %s\n", "section", "offset", "length", "pages", "crc64")
+	var resident int64
 	for i, sec := range f.Secs {
-		fmt.Fprintf(w, "%-14s %10d %12d  %016x\n", sectionName(info, i), sec.Off, sec.Len, sec.CRC)
+		pages := (int64(sec.Len) + pcache.PageSize - 1) / pcache.PageSize
+		fmt.Fprintf(w, "%-14s %10d %12d %7d  %016x\n", sectionName(info, i), sec.Off, sec.Len, pages, sec.CRC)
+		if i < len(info.ResidentPaged) && info.ResidentPaged[i] {
+			resident += int64(sec.Len)
+		}
+	}
+	if len(info.ResidentPaged) > 0 {
+		fmt.Fprintf(w, "paged open: %d bytes resident (%d-byte pages) + the adjacency page budget\n",
+			resident, pcache.PageSize)
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/graph/gstore"
+	"repro/internal/graph/pcache"
 	"repro/internal/serve"
 	"repro/internal/topk"
 )
@@ -184,5 +186,41 @@ func TestUnknownMagicAndUsage(t *testing.T) {
 	}
 	if code, _, _ := runTool(t, "frobnicate", junk); code != 2 {
 		t.Fatal("bad verb should be a usage error")
+	}
+}
+
+// TestInfoPageAccounting pins the page-size agreement between fwtool
+// and the serving page cache: the pages column is computed with
+// pcache.PageSize (a drift here would make capacity planning from
+// fwtool output wrong), and v2 files report the resident estimate for
+// a paged open.
+func TestInfoPageAccounting(t *testing.T) {
+	g := graph.FromEdges(8, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 4}})
+	defer g.Close()
+	rg, err := gstore.Relabel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := gstore.Save(path, rg); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runTool(t, "info", path)
+	if code != 0 {
+		t.Fatalf("info exit %d: %s", code, errb)
+	}
+	for _, want := range []string{
+		"FWGSTOR2", "pages", "perm",
+		fmt.Sprintf("(%d-byte pages)", pcache.PageSize),
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+	// Every section here is under one page; the resident estimate is
+	// the offsets + perm byte total exactly.
+	wantResident := fmt.Sprintf("paged open: %d bytes resident", 2*9*8+8*4)
+	if !strings.Contains(out, wantResident) {
+		t.Fatalf("info output missing %q:\n%s", wantResident, out)
 	}
 }

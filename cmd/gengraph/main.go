@@ -51,9 +51,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out        = fs.String("out", "", "output path (required; .gz compresses)")
 		format     = fs.String("format", "auto", "output format: auto|edgelist|binary|csr (auto: .bin selects binary, else edge list)")
 		stats      = fs.Bool("stats", true, "print graph statistics")
+		target     = fs.String("target-bytes", "", "size -n so the gstore CSR encoding lands near this byte budget (e.g. 256MiB); overrides -n, rmat unsupported")
+		relabel    = fs.Bool("relabel", false, "degree-order vertex rows before saving (csr: clusters hot vertices onto hot pages, external ids unchanged)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *target != "" {
+		tb, err := repro.ParseByteSize(*target)
+		if err != nil {
+			fmt.Fprintf(stderr, "gengraph: -target-bytes: %v\n", err)
+			fs.Usage()
+			return 2
+		}
+		sized, err := sizeForBytes(tb, *typ, *mean, *m, *relabel)
+		if err != nil {
+			fmt.Fprintf(stderr, "gengraph: %v\n", err)
+			fs.Usage()
+			return 2
+		}
+		*n = sized
 	}
 	if *out == "" {
 		fmt.Fprintln(stderr, "gengraph: -out is required")
@@ -112,6 +129,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gengraph: %v\n", err)
 		return 1
 	}
+	if *relabel {
+		rg, err := repro.RelabelGraph(g)
+		if err != nil {
+			fmt.Fprintf(stderr, "gengraph: relabeling: %v\n", err)
+			return 1
+		}
+		g.Close()
+		g = rg
+	}
 
 	if err := save(*out, g); err != nil {
 		fmt.Fprintf(stderr, "gengraph: writing %s: %v\n", *out, err)
@@ -123,4 +149,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*out, s.NumVertices, s.NumEdges, s.MeanDeg, s.MaxOutDeg, s.MaxInDeg, s.GiniOut)
 	}
 	return 0
+}
+
+// sizeForBytes solves the gstore CSR encoding size for the vertex
+// count: two offset arrays cost 16 bytes per vertex, the two adjacency
+// arrays 8 bytes per edge (out + in copies), and relabeled files add a
+// 4-byte permutation entry per vertex. Generators whose edge count
+// isn't proportional to n (rmat's is fixed by -scale; er with an
+// explicit -m) can't be sized this way and are an error.
+func sizeForBytes(target int64, typ string, mean float64, m int64, relabel bool) (int, error) {
+	var meanDeg float64
+	switch typ {
+	case "twitterlike":
+		meanDeg = 30
+	case "livejournallike":
+		meanDeg = 14
+	case "powerlaw":
+		meanDeg = mean
+	case "er":
+		if m != 0 {
+			return 0, fmt.Errorf("-target-bytes sizes -n from the mean degree; drop -m (er defaults to 10n edges)")
+		}
+		meanDeg = 10
+	case "rmat":
+		return 0, fmt.Errorf("-target-bytes cannot size rmat (vertex count is fixed by -scale)")
+	default:
+		return 0, fmt.Errorf("unknown -type %q", typ)
+	}
+	perVertex := 16 + 8*meanDeg
+	if relabel {
+		perVertex += 4
+	}
+	n := int(float64(target-256) / perVertex)
+	if n < 2 {
+		return 0, fmt.Errorf("-target-bytes %d too small for type %s (~%.0f bytes/vertex)", target, typ, perVertex)
+	}
+	return n, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -68,5 +69,48 @@ func TestFormats(t *testing.T) {
 				t.Fatalf("stats line missing: %q", stdout.String())
 			}
 		})
+	}
+}
+
+// TestTargetBytes pins the -target-bytes contract: the written gstore
+// CSR file lands within a factor of ~2 of the budget (the generator's
+// realized mean degree wobbles around the preset), and un-sizable
+// configurations are usage errors.
+func TestTargetBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.csr")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-type", "powerlaw", "-mean", "8", "-target-bytes", "256KiB",
+		"-format", "csr", "-relabel", "-out", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 128<<10 || fi.Size() > 512<<10 {
+		t.Fatalf("file size %d not within 2x of the 256KiB target", fi.Size())
+	}
+	g, err := repro.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	for _, tc := range []struct {
+		name, wantErr string
+		args          []string
+	}{
+		{"rmat", "-target-bytes cannot size rmat", []string{"-type", "rmat", "-target-bytes", "1MiB", "-out", "x"}},
+		{"er with -m", "drop -m", []string{"-type", "er", "-m", "100", "-target-bytes", "1MiB", "-out", "x"}},
+		{"bad size", "-target-bytes", []string{"-target-bytes", "12wombats", "-out", "x"}},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(stderr.String(), tc.wantErr) {
+			t.Errorf("%s: stderr %q missing %q", tc.name, stderr.String(), tc.wantErr)
+		}
 	}
 }

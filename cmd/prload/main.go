@@ -79,6 +79,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		url      = fs.String("url", "", "drive a live server at this base URL instead of in-process")
 		path     = fs.String("graph", "", "in-process: graph file (gstore CSR, binary, or edge list; auto-detected)")
 		cache    = fs.String("graph-cache", "", "in-process: gstore CSR cache file — mmap it if present, else build from -graph/-gen and save it")
+		graphMem = fs.String("graph-mem", "", "in-process: page adjacency from the gstore file under this byte budget (e.g. 512MiB); needs -graph-cache or a .csr -graph")
+		relabel  = fs.Bool("graph-relabel", false, "in-process: degree-order vertex rows when building the graph cache (external ids unchanged)")
 		snapDir  = fs.String("snapshot-dir", "", "in-process: warm-start the served snapshot from this directory (and persist the built one there), like prserve")
 		genType  = fs.String("gen", "twitterlike", "in-process: generator, twitterlike|livejournallike")
 		n        = fs.Int("n", 50000, "in-process: vertex count when generating")
@@ -103,6 +105,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var memBytes int64
+	if *graphMem != "" {
+		var err error
+		if memBytes, err = repro.ParseByteSize(*graphMem); err != nil {
+			fmt.Fprintf(stderr, "prload: -graph-mem: %v\n", err)
+			fs.Usage()
+			return 2
+		}
 	}
 
 	cfg := loadgen.Config{
@@ -159,7 +170,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer stopShards()
 		var vcount int
 		var err error
-		rt, vcount, err = buildSharded(shardCtx, *path, *cache, *genType, *n, *engine, *machines, *maxK, *seed, *nshards)
+		rt, vcount, err = buildSharded(shardCtx, *path, *cache, *genType, *n, *engine, *machines, *maxK, *seed, *nshards, memBytes, *relabel)
 		if err != nil {
 			fmt.Fprintf(stderr, "prload: %v\n", err)
 			return 1
@@ -175,7 +186,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	} else {
 		var vcount int
 		var err error
-		srv, vcount, err = buildInProcess(*path, *cache, *snapDir, *genType, *n, *engine, *machines, *maxK, *seed)
+		srv, vcount, err = buildInProcess(*path, *cache, *snapDir, *genType, *n, *engine, *machines, *maxK, *seed, memBytes, *relabel)
 		if err != nil {
 			fmt.Fprintf(stderr, "prload: %v\n", err)
 			return 1
@@ -323,6 +334,18 @@ func serverEntry(exposition []byte) (loadgen.BenchEntry, error) {
 	if pprReqs > 0 {
 		pprHitRate = pprHits / pprReqs
 	}
+	pageHits := obs.FamilySum(series, "graph_page_cache_hits_total")
+	pageMisses := obs.FamilySum(series, "graph_page_cache_misses_total")
+	pageHitRate := 0.0
+	if pageHits+pageMisses > 0 {
+		pageHitRate = pageHits / (pageHits + pageMisses)
+	}
+	walkSteps := obs.FamilySum(series, "ppr_walk_steps_total")
+	walkLocal := obs.FamilySum(series, "ppr_walk_page_local_steps_total")
+	walkLocality := 0.0
+	if walkSteps > 0 {
+		walkLocality = walkLocal / walkSteps
+	}
 	return loadgen.BenchEntry{
 		Name:       "prload/server",
 		Iterations: int64(requests),
@@ -340,6 +363,14 @@ func serverEntry(exposition []byte) (loadgen.BenchEntry, error) {
 			"pprWalks":        obs.FamilySum(series, "ppr_walks_total"),
 			"pprTruncated":    obs.FamilySum(series, "ppr_truncated_total"),
 			"pprUnsupported":  obs.FamilySum(series, "router_ppr_unsupported_total"),
+			// Page-cache behavior under a -graph-mem budget; all 0 for
+			// fully resident graphs.
+			"pageCacheHits":      pageHits,
+			"pageCacheMisses":    pageMisses,
+			"pageCacheHitRate":   pageHitRate,
+			"pageCacheEvictions": obs.FamilySum(series, "graph_page_cache_evictions_total"),
+			"walkSteps":          walkSteps,
+			"walkPageLocality":   walkLocality,
 		},
 	}, nil
 }
@@ -350,27 +381,12 @@ func serverEntry(exposition []byte) (loadgen.BenchEntry, error) {
 // the merge router. The sockets are real, so the router's byte meters
 // measure actual wire traffic per query. The workers live until ctx is
 // cancelled.
-func buildSharded(ctx context.Context, path, cache, genType string, n int, engine string, machines, maxK int, seed uint64, shards int) (*router.Router, int, error) {
+func buildSharded(ctx context.Context, path, cache, genType string, n int, engine string, machines, maxK int, seed uint64, shards int, memBytes int64, relabel bool) (*router.Router, int, error) {
 	eng, err := serve.ParseEngine(engine)
 	if err != nil {
 		return nil, 0, err
 	}
-	build := func() (*repro.Graph, error) {
-		switch {
-		case path != "":
-			return repro.LoadGraph(path)
-		case genType == "twitterlike":
-			return repro.TwitterLikeGraph(n, seed)
-		case genType == "livejournallike":
-			return repro.LiveJournalLikeGraph(n, seed)
-		}
-		return nil, fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
-	}
-	genN := 0
-	if path == "" {
-		genN = n
-	}
-	g, err := repro.CachedGraphChecked(cache, genN, build)
+	g, err := openGraph(path, cache, genType, n, seed, memBytes, relabel)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -405,27 +421,12 @@ func buildSharded(ctx context.Context, path, cache, genType string, n int, engin
 // generate the graph (through the mmap-able gstore cache when
 // -graph-cache is set), compute or warm-start the snapshot (through
 // -snapshot-dir), wrap it in the query API.
-func buildInProcess(path, cache, snapDir, genType string, n int, engine string, machines, maxK int, seed uint64) (*serve.Server, int, error) {
+func buildInProcess(path, cache, snapDir, genType string, n int, engine string, machines, maxK int, seed uint64, memBytes int64, relabel bool) (*serve.Server, int, error) {
 	eng, err := serve.ParseEngine(engine)
 	if err != nil {
 		return nil, 0, err
 	}
-	build := func() (*repro.Graph, error) {
-		switch {
-		case path != "":
-			return repro.LoadGraph(path)
-		case genType == "twitterlike":
-			return repro.TwitterLikeGraph(n, seed)
-		case genType == "livejournallike":
-			return repro.LiveJournalLikeGraph(n, seed)
-		}
-		return nil, fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
-	}
-	genN := 0
-	if path == "" {
-		genN = n
-	}
-	g, err := repro.CachedGraphChecked(cache, genN, build)
+	g, err := openGraph(path, cache, genType, n, seed, memBytes, relabel)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -446,6 +447,34 @@ func buildInProcess(path, cache, snapDir, genType string, n int, engine string, 
 		return nil, 0, err
 	}
 	return srv, g.NumVertices(), nil
+}
+
+// openGraph is the graph-acquisition step both in-process targets
+// share: the -graph-cache protocol (with optional degree-ordered
+// relabeling at cache-build time), the paged open when a -graph-mem
+// budget is set, and the direct paged load when -graph itself is the
+// gstore file to page from.
+func openGraph(path, cache, genType string, n int, seed uint64, memBytes int64, relabel bool) (*repro.Graph, error) {
+	build := func() (*repro.Graph, error) {
+		switch {
+		case path != "":
+			return repro.LoadGraph(path)
+		case genType == "twitterlike":
+			return repro.TwitterLikeGraph(n, seed)
+		case genType == "livejournallike":
+			return repro.LiveJournalLikeGraph(n, seed)
+		}
+		return nil, fmt.Errorf("unknown -gen %q (want twitterlike|livejournallike)", genType)
+	}
+	if memBytes > 0 && cache == "" && path != "" {
+		return repro.LoadGraphPaged(path, memBytes)
+	}
+	genN := 0
+	if path == "" {
+		genN = n
+	}
+	return repro.CachedGraphCheckedWith(cache,
+		repro.GraphCacheOptions{Mem: memBytes, Relabel: relabel}, genN, build)
 }
 
 // parseMix parses "topk=0.45,rank=0.25,ppr=0.2,stats=0.1" (weights are

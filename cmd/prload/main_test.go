@@ -248,19 +248,19 @@ func TestParseMix(t *testing.T) {
 }
 
 func TestBuildInProcessErrors(t *testing.T) {
-	if _, _, err := buildInProcess("", "", "", "nosuchgen", 100, "frogwild", 2, 20, 1); err == nil {
+	if _, _, err := buildInProcess("", "", "", "nosuchgen", 100, "frogwild", 2, 20, 1, 0, false); err == nil {
 		t.Error("unknown generator accepted")
 	}
-	if _, _, err := buildInProcess("", "", "", "twitterlike", 100, "nosuchengine", 2, 20, 1); err == nil {
+	if _, _, err := buildInProcess("", "", "", "twitterlike", 100, "nosuchengine", 2, 20, 1, 0, false); err == nil {
 		t.Error("unknown engine accepted")
 	}
-	if _, _, err := buildInProcess("/no/such/file", "", "", "", 100, "frogwild", 2, 20, 1); err == nil {
+	if _, _, err := buildInProcess("/no/such/file", "", "", "", 100, "frogwild", 2, 20, 1, 0, false); err == nil {
 		t.Error("missing graph file accepted")
 	}
 }
 
 func TestBuildInProcessTiny(t *testing.T) {
-	h, n, err := buildInProcess("", "", "", "twitterlike", 300, "glpr", 2, 20, 1)
+	h, n, err := buildInProcess("", "", "", "twitterlike", 300, "glpr", 2, 20, 1, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

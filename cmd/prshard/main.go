@@ -68,6 +68,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady, onMetric
 		genType  = fs.String("gen", "", "generate instead of load: twitterlike|livejournallike")
 		n        = fs.Int("n", 50000, "vertex count when generating")
 		cache    = fs.String("graph-cache", "", "gstore CSR cache file: mmap it if present, else build and save it")
+		graphMem = fs.String("graph-mem", "", "page adjacency from the gstore file under this byte budget (e.g. 512MiB); needs -graph-cache or a .csr -graph")
+		relabel  = fs.Bool("graph-relabel", false, "degree-order vertex rows when building the graph cache (external ids unchanged)")
 		engine   = fs.String("engine", "frogwild", "estimate engine: frogwild|glpr|exact")
 		machines = fs.Int("machines", 16, "simulated cluster size for the estimate engine")
 		maxK     = fs.Int("maxk", serve.DefaultMaxK, "precomputed top index size")
@@ -107,8 +109,22 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady, onMetric
 	if *path == "" && *genType != "" {
 		genN = *n
 	}
+	var memBytes int64
+	if *graphMem != "" {
+		if memBytes, err = repro.ParseByteSize(*graphMem); err != nil {
+			fmt.Fprintf(stderr, "prshard: -graph-mem: %v\n", err)
+			fs.Usage()
+			return 2
+		}
+	}
 	loadStart := time.Now()
-	g, err := repro.CachedGraphChecked(*cache, genN, buildGraph)
+	var g *repro.Graph
+	if memBytes > 0 && *cache == "" && *path != "" {
+		g, err = repro.LoadGraphPaged(*path, memBytes)
+	} else {
+		g, err = repro.CachedGraphCheckedWith(*cache,
+			repro.GraphCacheOptions{Mem: memBytes, Relabel: *relabel}, genN, buildGraph)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "prshard: %v\n", err)
 		return 1

@@ -6,31 +6,39 @@ package graph
 
 // Transpose returns the graph with every edge reversed, bit-identical
 // to rebuilding from the reversed edge list but without materializing
-// any []Edge. Three of the four CSR arrays come straight from the
-// receiver: the transpose's offsets are the receiver's swapped, and
-// its in-adjacency is the receiver's out-adjacency (the reversed edge
-// list is enumerated in the receiver's src-major order, so each
-// vertex's gT-predecessors appear exactly in its g-successor order).
-// Only the transpose's out-adjacency needs work: one counting-scatter
-// pass over the receiver's edges, which groups each vertex's reversed
-// sources in ascending order as the edge-list rebuild would. The
-// result is always heap-backed, so it outlives a Close of a
-// file-backed receiver.
+// any []Edge. The transpose's offsets are the receiver's swapped
+// (rows stay under the same permutation, if any), and its in-adjacency
+// is the receiver's out-adjacency row by row (the reversed edge list
+// is enumerated in the receiver's src-major order, so each vertex's
+// gT-predecessors appear exactly in its g-successor order). Only the
+// transpose's out-adjacency needs work: one counting-scatter pass over
+// the receiver's edges, which groups each vertex's reversed sources in
+// ascending order as the edge-list rebuild would. The pass goes
+// through an AdjReader, so it streams paged receivers through the page
+// cache; the result is always heap-backed and fully resident, so it
+// outlives a Close of a file-backed receiver.
 func (g *Graph) Transpose() *Graph {
 	n := g.n
 	t := &Graph{
 		n:      n,
+		m:      g.m,
 		outOff: append([]int64(nil), g.inOff...),
-		outAdj: make([]VertexID, len(g.inAdj)),
+		outAdj: make([]VertexID, g.m),
 		inOff:  append([]int64(nil), g.outOff...),
-		inAdj:  append([]VertexID(nil), g.outAdj...),
+		inAdj:  make([]VertexID, g.m),
+		perm:   append([]VertexID(nil), g.perm...),
 	}
 	pos := make([]int64, n)
 	copy(pos, t.outOff[:n])
+	r := g.NewAdjReader()
+	defer r.Release()
 	for u := 0; u < n; u++ {
-		for _, d := range g.OutNeighbors(VertexID(u)) {
-			t.outAdj[pos[d]] = VertexID(u)
-			pos[d]++
+		row := r.OutNeighbors(VertexID(u))
+		copy(t.inAdj[t.inOff[t.rowOf(VertexID(u))]:], row)
+		for _, d := range row {
+			rd := t.rowOf(d)
+			t.outAdj[pos[rd]] = VertexID(u)
+			pos[rd]++
 		}
 	}
 	return t

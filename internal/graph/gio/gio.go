@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/graph/gstore"
+	"repro/internal/secfile"
 )
 
 // openReader opens path for reading, wrapping in gzip when the name
@@ -343,6 +344,12 @@ type LoadOptions struct {
 	// buffered-read fallback). Ignored for the other formats and for
 	// gzipped gstore streams, which are always buffered.
 	Mmap gstore.OpenMode
+	// Mem, when > 0, opens gstore files paged with roughly this many
+	// bytes of adjacency resident (the bigger-than-RAM path; see
+	// gstore.OpenOptions.Mem). Formats that cannot bound residency —
+	// edge lists, FWG1 binary, gzipped streams — are an error under a
+	// budget rather than a silent full load.
+	Mem int64
 }
 
 // Load loads a graph from path with default options, auto-detecting
@@ -364,15 +371,21 @@ func LoadWith(path string, opts LoadOptions) (*graph.Graph, error) {
 	head, _ := br.Peek(8)
 	if f, ok := lookupFormat(head); ok {
 		if f.Open != nil && !strings.HasSuffix(path, ".gz") {
-			// Reopen through the format's file path (the mmap needs
-			// the file, not this buffered stream).
+			// Reopen through the format's file path (the mmap or page
+			// cache needs the file, not this buffered stream).
 			rc.Close()
 			return f.Open(path, opts)
 		}
 		defer rc.Close()
+		if opts.Mem > 0 {
+			return nil, fmt.Errorf("gio: %s: -graph-mem budget needs an uncompressed gstore file; %s streams load fully resident", path, f.Name)
+		}
 		return f.Read(br, opts)
 	}
 	defer rc.Close()
+	if opts.Mem > 0 {
+		return nil, fmt.Errorf("gio: %s: -graph-mem budget needs an uncompressed gstore file; edge-list text loads fully resident", path)
+	}
 	g, err := ReadEdgeList(br, opts.EdgeList)
 	if err != nil {
 		return nil, err
@@ -403,6 +416,33 @@ func SaveCSR(path string, g *graph.Graph) error {
 	return wc.Close()
 }
 
+// CacheOptions tunes the -graph-cache protocol.
+type CacheOptions struct {
+	// Mem, when > 0, opens the cache paged with roughly this many
+	// bytes of adjacency resident (gstore.OpenOptions.Mem).
+	Mem int64
+	// Relabel applies degree-ordered relabeling (gstore.Relabel) when
+	// the cache is built, so the saved file packs hot rows onto hot
+	// pages. A cache that already exists is opened as-is — delete it
+	// to re-save with relabeling.
+	Relabel bool
+}
+
+// openMode names how the cache will be opened — paged with a budget,
+// mmap, or buffered — so cache failures say which path broke
+// (a paged-open failure and a cache-miss rebuild failure look alike
+// without it).
+func (o CacheOptions) openMode() string {
+	switch {
+	case o.Mem > 0:
+		return fmt.Sprintf("paged, budget %d bytes", o.Mem)
+	case secfile.MmapSupported:
+		return "mmap"
+	default:
+		return "buffered"
+	}
+}
+
 // OpenCached is the graph-cache protocol the CLIs' -graph-cache flag
 // speaks: if cache exists it is opened zero-copy (mmap) and build is
 // never called; on a miss the graph is built, saved to cache
@@ -411,16 +451,35 @@ func SaveCSR(path string, g *graph.Graph) error {
 // cache is an error, not a silent rebuild — delete the file to force a
 // rebuild.
 func OpenCached(cache string, build func() (*graph.Graph, error)) (*graph.Graph, error) {
-	g, err := gstore.Open(cache, gstore.OpenOptions{})
+	return OpenCachedWith(cache, CacheOptions{}, build)
+}
+
+// OpenCachedWith is OpenCached with paging and relabeling knobs; see
+// CacheOptions.
+func OpenCachedWith(cache string, opts CacheOptions, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	mode := opts.openMode()
+	open := func() (*graph.Graph, error) {
+		return gstore.Open(cache, gstore.OpenOptions{Mem: opts.Mem})
+	}
+	g, err := open()
 	if err == nil {
 		return g, nil
 	}
 	if !errors.Is(err, fs.ErrNotExist) {
-		return nil, fmt.Errorf("gio: graph cache %s: %w", cache, err)
+		return nil, fmt.Errorf("gio: graph cache %s (%s open): %w", cache, mode, err)
 	}
 	built, err := build()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Relabel {
+		relabeled, err := gstore.Relabel(built)
+		if err != nil {
+			built.Close()
+			return nil, fmt.Errorf("gio: relabeling graph for cache %s: %w", cache, err)
+		}
+		built.Close()
+		built = relabeled
 	}
 	if err := gstore.Save(cache, built); err != nil {
 		built.Close()
@@ -432,9 +491,9 @@ func OpenCached(cache string, build func() (*graph.Graph, error)) (*graph.Graph,
 	if err := built.Close(); err != nil {
 		return nil, fmt.Errorf("gio: releasing built graph: %w", err)
 	}
-	g, err = gstore.Open(cache, gstore.OpenOptions{})
+	g, err = open()
 	if err != nil {
-		return nil, fmt.Errorf("gio: reopening graph cache %s: %w", cache, err)
+		return nil, fmt.Errorf("gio: reopening graph cache %s (%s open): %w", cache, mode, err)
 	}
 	return g, nil
 }
@@ -447,10 +506,33 @@ func OpenCached(cache string, build func() (*graph.Graph, error)) (*graph.Graph,
 // vertex count differs from genN is an error telling the user to
 // delete the stale cache.
 func OpenCachedChecked(cache string, genN int, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	return OpenCachedCheckedWith(cache, CacheOptions{}, genN, build)
+}
+
+// OpenCachedCheckedWith is OpenCachedChecked with paging and
+// relabeling knobs. A memory budget without a cache file is an error:
+// paging needs a gstore file to page from.
+func OpenCachedCheckedWith(cache string, opts CacheOptions, genN int, build func() (*graph.Graph, error)) (*graph.Graph, error) {
 	if cache == "" {
-		return build()
+		if opts.Mem > 0 {
+			return nil, errors.New("gio: a -graph-mem budget needs a gstore file to page from: set -graph-cache (or point -graph at a .csr file)")
+		}
+		g, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if opts.Relabel {
+			relabeled, err := gstore.Relabel(g)
+			if err != nil {
+				g.Close()
+				return nil, fmt.Errorf("gio: relabeling graph: %w", err)
+			}
+			g.Close()
+			g = relabeled
+		}
+		return g, nil
 	}
-	g, err := OpenCached(cache, build)
+	g, err := OpenCachedWith(cache, opts, build)
 	if err != nil {
 		return nil, err
 	}

@@ -52,8 +52,10 @@ func lookupFormat(head []byte) (Format, bool) {
 
 func init() {
 	RegisterFormat(Format{
-		Name:  "gstore CSR",
-		Magic: gstore.Magic,
+		Name: "gstore CSR",
+		// The 7-byte shared prefix covers both FWGSTOR1 and the
+		// relabeled FWGSTOR2; gstore dispatches the version itself.
+		Magic: gstore.MagicPrefix,
 		Open: func(path string, opts LoadOptions) (*graph.Graph, error) {
 			return gstore.Open(path, gstoreOptions(opts))
 		},
@@ -74,5 +76,5 @@ func init() {
 
 // gstoreOptions maps Load's policy knobs onto the gstore schema's.
 func gstoreOptions(opts LoadOptions) gstore.OpenOptions {
-	return gstore.OpenOptions{Mode: opts.Mmap, Validate: opts.Validate == ValidateOn}
+	return gstore.OpenOptions{Mode: opts.Mmap, Validate: opts.Validate == ValidateOn, Mem: opts.Mem}
 }

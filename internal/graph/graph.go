@@ -31,18 +31,31 @@ type Edge struct {
 // FromCSR for pre-built (possibly file-backed) arrays.
 type Graph struct {
 	n int
+	m int64 // directed edge count (adjacency may not be resident)
 
-	// Out-adjacency: successors of v are outAdj[outOff[v]:outOff[v+1]].
+	// Out-adjacency: successors of row r are outAdj[outOff[r]:outOff[r+1]].
+	// Rows equal external vertex ids unless perm is set.
 	outOff []int64
 	outAdj []VertexID
 
-	// In-adjacency: predecessors of v are inAdj[inOff[v]:inOff[v+1]].
+	// In-adjacency: predecessors of row r are inAdj[inOff[r]:inOff[r+1]].
 	inOff []int64
 	inAdj []VertexID
 
+	// perm, when non-nil, maps an external vertex id to its internal
+	// CSR row (a bijection on [0,n)). Adjacency VALUES are always
+	// external ids, so the permutation is invisible outside this
+	// package — it only reorders rows for page locality. See paged.go.
+	perm []VertexID
+
+	// pager, when non-nil, serves outAdj/inAdj out of a bounded page
+	// cache instead of resident arrays (which are then nil). See
+	// paged.go.
+	pager AdjPager
+
 	// backing owns the memory the arrays alias when it is not the Go
-	// heap (an mmap'd gstore file); nil for heap-backed graphs. See
-	// storage.go.
+	// heap (an mmap'd gstore file, or the pager for paged graphs); nil
+	// for heap-backed graphs. See storage.go.
 	backing io.Closer
 }
 
@@ -50,35 +63,55 @@ type Graph struct {
 func (g *Graph) NumVertices() int { return g.n }
 
 // NumEdges returns the number of directed edges.
-func (g *Graph) NumEdges() int64 { return int64(len(g.outAdj)) }
+func (g *Graph) NumEdges() int64 { return g.m }
 
 // OutDegree returns the out-degree of v.
 func (g *Graph) OutDegree(v VertexID) int {
-	return int(g.outOff[v+1] - g.outOff[v])
+	r := g.rowOf(v)
+	return int(g.outOff[r+1] - g.outOff[r])
 }
 
 // InDegree returns the in-degree of v.
 func (g *Graph) InDegree(v VertexID) int {
-	return int(g.inOff[v+1] - g.inOff[v])
+	r := g.rowOf(v)
+	return int(g.inOff[r+1] - g.inOff[r])
 }
 
 // OutNeighbors returns the successors of v. The returned slice aliases
-// internal storage and must not be modified.
+// internal storage and must not be modified. On paged graphs it is a
+// fresh copy (use an AdjReader on hot paths to amortize the cursor and
+// the allocation).
 func (g *Graph) OutNeighbors(v VertexID) []VertexID {
-	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+	r := g.rowOf(v)
+	lo, hi := g.outOff[r], g.outOff[r+1]
+	if g.pager == nil {
+		return g.outAdj[lo:hi]
+	}
+	cur := g.pager.NewCursor()
+	defer cur.Release()
+	return cur.OutRange(lo, hi, make([]VertexID, 0, hi-lo))
 }
 
-// InNeighbors returns the predecessors of v. The returned slice aliases
-// internal storage and must not be modified.
+// InNeighbors returns the predecessors of v, with the same aliasing
+// rules as OutNeighbors.
 func (g *Graph) InNeighbors(v VertexID) []VertexID {
-	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+	r := g.rowOf(v)
+	lo, hi := g.inOff[r], g.inOff[r+1]
+	if g.pager == nil {
+		return g.inAdj[lo:hi]
+	}
+	cur := g.pager.NewCursor()
+	defer cur.Release()
+	return cur.InRange(lo, hi, make([]VertexID, 0, hi-lo))
 }
 
 // Edges calls fn for every edge in src order. It stops early if fn
 // returns false.
 func (g *Graph) Edges(fn func(e Edge) bool) {
+	r := g.NewAdjReader()
+	defer r.Release()
 	for v := 0; v < g.n; v++ {
-		for _, d := range g.OutNeighbors(VertexID(v)) {
+		for _, d := range r.OutNeighbors(VertexID(v)) {
 			if !fn(Edge{VertexID(v), d}) {
 				return
 			}
@@ -273,6 +306,7 @@ func (b *Builder) MustBuild() *Graph {
 func fromEdges(n int, edges []Edge) *Graph {
 	g := &Graph{
 		n:      n,
+		m:      int64(len(edges)),
 		outOff: make([]int64, n+1),
 		inOff:  make([]int64, n+1),
 		outAdj: make([]VertexID, len(edges)),
@@ -367,6 +401,7 @@ func ComputeStats(g *Graph) Stats {
 
 // Validate checks internal CSR invariants; it is used by property tests
 // and the binary loader. It returns nil if the graph is well-formed.
+// On paged graphs the adjacency checks stream through the page cache.
 func (g *Graph) Validate() error {
 	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
 		return errors.New("graph: offset array length mismatch")
@@ -379,29 +414,37 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: non-monotone offsets at vertex %d", v)
 		}
 	}
-	if g.outOff[g.n] != int64(len(g.outAdj)) || g.inOff[g.n] != int64(len(g.inAdj)) {
-		return errors.New("graph: offset totals do not match adjacency lengths")
+	if g.outOff[g.n] != g.m || g.inOff[g.n] != g.m {
+		return errors.New("graph: offset totals do not match the edge count")
 	}
-	if len(g.outAdj) != len(g.inAdj) {
-		return errors.New("graph: out/in edge count mismatch")
-	}
-	for _, d := range g.outAdj {
-		if int(d) >= g.n {
-			return fmt.Errorf("graph: out-neighbor %d out of range", d)
+	if g.pager == nil {
+		if g.outOff[g.n] != int64(len(g.outAdj)) || g.inOff[g.n] != int64(len(g.inAdj)) {
+			return errors.New("graph: offset totals do not match adjacency lengths")
+		}
+		if len(g.outAdj) != len(g.inAdj) {
+			return errors.New("graph: out/in edge count mismatch")
 		}
 	}
-	for _, s := range g.inAdj {
-		if int(s) >= g.n {
-			return fmt.Errorf("graph: in-neighbor %d out of range", s)
-		}
+	if err := checkPerm(g.n, g.perm); err != nil {
+		return err
 	}
-	// Edge multiset must agree between directions.
+	// Range-check neighbors and confirm the edge multiset agrees
+	// between directions. One reader pass covers resident and paged
+	// graphs alike; ids seen here are external either way.
+	r := g.NewAdjReader()
+	defer r.Release()
 	var outSum, inSum uint64
 	for v := 0; v < g.n; v++ {
-		for _, d := range g.OutNeighbors(VertexID(v)) {
+		for _, d := range r.OutNeighbors(VertexID(v)) {
+			if int(d) >= g.n {
+				return fmt.Errorf("graph: out-neighbor %d out of range", d)
+			}
 			outSum += edgeHash(VertexID(v), d)
 		}
-		for _, s := range g.InNeighbors(VertexID(v)) {
+		for _, s := range r.InNeighbors(VertexID(v)) {
+			if int(s) >= g.n {
+				return fmt.Errorf("graph: in-neighbor %d out of range", s)
+			}
 			inSum += edgeHash(s, VertexID(v))
 		}
 	}

@@ -33,26 +33,41 @@
 package gstore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/graph"
 	"repro/internal/secfile"
 )
 
-// Magic identifies a gstore file; it is what gio's auto-detection
-// sniffs.
+// Magic identifies a plain gstore file; MagicPrefix is what gio's
+// auto-detection sniffs (it covers both versions).
 const Magic = "FWGSTOR1"
 
-// Version is the current format version.
+// Magic2 identifies a relabeled gstore file: the same four CSR
+// sections plus a fifth holding the external→internal row permutation
+// (see Relabel). Plain graphs keep writing FWGSTOR1 byte-identically.
+const Magic2 = "FWGSTOR2"
+
+// MagicPrefix is the 7 bytes the two versions share.
+const MagicPrefix = "FWGSTOR"
+
+// Version is the current format version (per magic).
 const Version = 1
 
 const (
 	headerSize  = 128
 	tableOffset = 32
 	numSections = 4
+
+	// FWGSTOR2 appends one table entry for the perm section; its
+	// header grows by exactly that entry.
+	headerSize2  = headerSize + secfile.EntrySize
+	numSections2 = numSections + 1
 
 	// maxVertices/maxEdges bound the header's claimed sizes before any
 	// allocation or slicing happens, so a hostile header cannot make a
@@ -86,18 +101,44 @@ var schema = &secfile.Schema{
 	ErrEndian:    ErrEndian,
 }
 
+// schema2 is the FWGSTOR2 layout: FWGSTOR1 plus a perm section of n
+// uint32 row indices.
+var schema2 = &secfile.Schema{
+	Magic:        Magic2,
+	Version:      Version,
+	HeaderSize:   headerSize2,
+	TableOff:     tableOffset,
+	NumSections:  numSections2,
+	SectionSizes: sectionSizes2,
+	ErrFormat:    ErrFormat,
+	ErrChecksum:  ErrChecksum,
+	ErrEndian:    ErrEndian,
+}
+
+func gstoreFields(hdr []byte) []secfile.Field {
+	n, m := headerCounts(hdr)
+	return []secfile.Field{
+		{Name: "vertices", Value: fmt.Sprint(n)},
+		{Name: "edges", Value: fmt.Sprint(m)},
+	}
+}
+
 func init() {
 	secfile.Register(secfile.Info{
 		Name:         "gstore CSR graph",
 		Schema:       schema,
 		SectionNames: []string{"outOff", "outAdj", "inOff", "inAdj"},
-		Fields: func(hdr []byte) []secfile.Field {
-			n, m := headerCounts(hdr)
-			return []secfile.Field{
-				{Name: "vertices", Value: fmt.Sprint(n)},
-				{Name: "edges", Value: fmt.Sprint(m)},
-			}
-		},
+		Fields:       gstoreFields,
+		// A paged open keeps the offset arrays resident and serves the
+		// adjacency from the page cache.
+		ResidentPaged: []bool{true, false, true, false},
+	})
+	secfile.Register(secfile.Info{
+		Name:          "gstore CSR graph (degree-relabeled)",
+		Schema:        schema2,
+		SectionNames:  []string{"outOff", "outAdj", "inOff", "inAdj", "perm"},
+		Fields:        gstoreFields,
+		ResidentPaged: []bool{true, false, true, false, true},
 	})
 }
 
@@ -117,9 +158,28 @@ func sectionSizes(hdr []byte) ([]uint64, error) {
 	return []uint64{(n + 1) * 8, m * 4, (n + 1) * 8, m * 4}, nil
 }
 
+// sectionSizes2 adds the perm section: n uint32 row indices.
+func sectionSizes2(hdr []byte) ([]uint64, error) {
+	sizes, err := sectionSizes(hdr)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := headerCounts(hdr)
+	return append(sizes, n*4), nil
+}
+
 // IsMagic reports whether head (the first bytes of a file or stream)
-// starts a gstore file.
-func IsMagic(head []byte) bool { return schema.IsMagic(head) }
+// starts a gstore file of either version.
+func IsMagic(head []byte) bool { return schema.IsMagic(head) || schema2.IsMagic(head) }
+
+// schemaFor picks the version schema for head's magic, defaulting to
+// v1 so non-gstore bytes fail with its (unchanged) error text.
+func schemaFor(head []byte) *secfile.Schema {
+	if schema2.IsMagic(head) {
+		return schema2
+	}
+	return schema
+}
 
 // OpenMode selects how Open gets the file's bytes.
 type OpenMode = secfile.OpenMode
@@ -137,7 +197,8 @@ const (
 
 // OpenOptions tunes Open and Read.
 type OpenOptions struct {
-	// Mode selects mmap vs buffered read (Open only).
+	// Mode selects mmap vs buffered read (Open only, ignored when Mem
+	// is set).
 	Mode OpenMode
 	// NoVerify skips the per-section checksum verification. The
 	// default (verify) reads every page once at open; skipping it
@@ -149,22 +210,39 @@ type OpenOptions struct {
 	// bytes to what the writer produced, and the writer only ever
 	// serializes well-formed graphs.
 	Validate bool
+	// Mem, when > 0, opens the file paged (Open only): the offset
+	// arrays (and perm, for FWGSTOR2) stay resident, while the
+	// adjacency is served from a page cache whose resident set is
+	// bounded by about Mem bytes — the bigger-than-RAM path. See
+	// paged.go.
+	Mem int64
 }
 
 func (o OpenOptions) codec() secfile.OpenOptions {
 	return secfile.OpenOptions{Mode: o.Mode, NoVerify: o.NoVerify}
 }
 
-// Write serializes g to w in the gstore format.
+// Write serializes g to w in the gstore format: FWGSTOR1 for plain
+// graphs (byte-identical to previous releases), FWGSTOR2 when the
+// graph carries a row permutation (see Relabel). Paged graphs cannot
+// be serialized — their adjacency is not resident.
 func Write(w io.Writer, g *graph.Graph) error {
+	if g.Paged() {
+		return errors.New("gstore: cannot serialize a paged graph (adjacency is not resident; open the source file instead)")
+	}
 	c := g.CSRView()
-	hdr := schema.NewHeader()
-	binary.LittleEndian.PutUint64(hdr[16:24], uint64(c.NumVertices))
-	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(c.OutAdj)))
-	return schema.Write(w, hdr, [][]byte{
+	sc, parts := schema, [][]byte{
 		secfile.Bytes(c.OutOff), secfile.Bytes(c.OutAdj),
 		secfile.Bytes(c.InOff), secfile.Bytes(c.InAdj),
-	})
+	}
+	if c.Perm != nil {
+		sc = schema2
+		parts = append(parts, secfile.Bytes(c.Perm))
+	}
+	hdr := sc.NewHeader()
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(c.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(c.OutAdj)))
+	return sc.Write(w, hdr, parts)
 }
 
 // Save writes g to path atomically: the bytes land in a temp file in
@@ -188,6 +266,9 @@ func fromFile(f *secfile.File, opts OpenOptions) (*graph.Graph, error) {
 		InOff:       secfile.View[int64](f.Data, f.Secs[2].Off, int(n)+1),
 		InAdj:       secfile.View[graph.VertexID](f.Data, f.Secs[3].Off, int(m)),
 	}
+	if len(f.Secs) == numSections2 {
+		c.Perm = secfile.View[graph.VertexID](f.Data, f.Secs[4].Off, int(n))
+	}
 	g, err := graph.FromCSR(c, f) // FromCSR closes f on error
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
@@ -209,22 +290,44 @@ func fromFile(f *secfile.File, opts OpenOptions) (*graph.Graph, error) {
 // it is touched, checksums are verified (unless opts.NoVerify), and
 // the offset arrays are structurally validated by graph.FromCSR.
 func Decode(data []byte, backing io.Closer, opts OpenOptions) (*graph.Graph, error) {
-	f, err := schema.Decode(data, backing, opts.codec())
+	f, err := schemaFor(data).Decode(data, backing, opts.codec())
 	if err != nil {
 		return nil, err
 	}
 	return fromFile(f, opts)
 }
 
-// Open opens a gstore file, zero-copy via mmap when the platform
-// allows (the adjacency slices alias the file pages; Close unmaps
-// them), falling back to a buffered read under ModeAuto.
+// Open opens a gstore file of either version, zero-copy via mmap when
+// the platform allows (the adjacency slices alias the file pages;
+// Close unmaps them), falling back to a buffered read under ModeAuto.
+// With opts.Mem set it opens paged instead: see OpenOptions.Mem.
 func Open(path string, opts OpenOptions) (*graph.Graph, error) {
-	f, err := schema.Open(path, opts.codec())
+	if opts.Mem > 0 {
+		return openPaged(path, opts)
+	}
+	head, err := readHead(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := schemaFor(head).Open(path, opts.codec())
 	if err != nil {
 		return nil, err
 	}
 	return fromFile(f, opts)
+}
+
+// readHead reads the first 8 bytes of path for version dispatch.
+func readHead(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	head := make([]byte, 8)
+	if n, err := io.ReadFull(f, head); err != nil {
+		return nil, fmt.Errorf("%w: %w: %s is %d bytes", ErrFormat, secfile.ErrFormat, path, n)
+	}
+	return head, nil
 }
 
 // Read decodes a gstore stream (the buffered path gio uses for
@@ -233,7 +336,11 @@ func Open(path string, opts OpenOptions) (*graph.Graph, error) {
 // it, so a hostile header claiming a huge graph fails at the stream's
 // real end instead of forcing one giant allocation up front.
 func Read(r io.Reader, opts OpenOptions) (*graph.Graph, error) {
-	f, err := schema.Read(r, opts.codec())
+	head := make([]byte, 8)
+	if n, err := io.ReadFull(r, head); err != nil {
+		head = head[:n] // let the v1 schema produce its usual error
+	}
+	f, err := schemaFor(head).Read(io.MultiReader(bytes.NewReader(head), r), opts.codec())
 	if err != nil {
 		return nil, err
 	}

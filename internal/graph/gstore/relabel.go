@@ -1,0 +1,73 @@
+package gstore
+
+// Degree-ordered vertex relabeling. Request-time random walks are
+// Zipf-favored: most steps land on high-degree vertices. A plain CSR
+// scatters those hot rows across the whole adjacency section, so under
+// a paged open (OpenOptions.Mem) every step risks touching a cold
+// page. Relabel reorders the CSR rows by total degree, descending, so
+// the hot rows pack into the first pages of each adjacency section and
+// a small page budget covers most steps.
+//
+// The permutation is internal only: adjacency values stay external
+// vertex ids, and every Graph accessor maps external id → row through
+// the stored perm. External ids in requests, responses, and persisted
+// snapshots are unchanged — a relabeled graph is logically identical
+// (same neighbor sets, in the same per-vertex order) to its source.
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Relabel returns a heap-backed copy of g whose CSR rows are ordered
+// by total (out+in) degree descending, ties broken by ascending
+// external id, with the external→row permutation attached. Saving the
+// result writes FWGSTOR2. Relabel reads g through the public API, so
+// any resident or paged graph works as the source; the result is
+// logically identical to g.
+func Relabel(g *graph.Graph) (*graph.Graph, error) {
+	n := g.NumVertices()
+	m := g.NumEdges()
+
+	// order[r] is the external id whose adjacency lands in row r.
+	order := make([]graph.VertexID, n)
+	for v := range order {
+		order[v] = graph.VertexID(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		da := g.OutDegree(a) + g.InDegree(a)
+		db := g.OutDegree(b) + g.InDegree(b)
+		if da != db {
+			return da > db
+		}
+		return a < b
+	})
+	perm := make([]graph.VertexID, n)
+	for r, v := range order {
+		perm[v] = graph.VertexID(r)
+	}
+
+	c := graph.CSR{
+		NumVertices: n,
+		OutOff:      make([]int64, n+1),
+		OutAdj:      make([]graph.VertexID, m),
+		InOff:       make([]int64, n+1),
+		InAdj:       make([]graph.VertexID, m),
+		Perm:        perm,
+	}
+	r := g.NewAdjReader()
+	defer r.Release()
+	for row, v := range order {
+		outs := r.OutNeighbors(v)
+		copy(c.OutAdj[c.OutOff[row]:], outs)
+		c.OutOff[row+1] = c.OutOff[row] + int64(len(outs))
+	}
+	for row, v := range order {
+		ins := r.InNeighbors(v)
+		copy(c.InAdj[c.InOff[row]:], ins)
+		c.InOff[row+1] = c.InOff[row] + int64(len(ins))
+	}
+	return graph.FromCSR(c, nil)
+}

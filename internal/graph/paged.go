@@ -1,0 +1,249 @@
+package graph
+
+// This file extends the storage seam (storage.go) out of core: a Graph
+// whose offset arrays (and optional row permutation) are resident but
+// whose adjacency lives behind an AdjPager — a bounded page cache over
+// the on-disk sections (see internal/graph/gstore's paged open and
+// internal/graph/pcache). The public Graph API is still identical; the
+// hot paths additionally get AdjReader, a per-goroutine handle that is
+// allocation-free on resident graphs and cursor-backed on paged ones.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageCacheStats is a point-in-time view of a paged graph's cache: the
+// page geometry, the configured budget, the current resident/pinned
+// gauges, and the access counters. The serving layer renders these in
+// /metrics and /v1/stats.
+type PageCacheStats struct {
+	PageSize      int
+	BudgetBytes   int64
+	BudgetPages   int
+	ResidentPages int
+	PinnedPages   int
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+}
+
+// An AdjCursor is one goroutine's handle on paged adjacency. Indices
+// are positions into the logical outAdj/inAdj arrays (what the offset
+// arrays address). Cursors keep their current page pinned between
+// calls, are not safe for concurrent use, and must be Released.
+//
+// I/O failures surface as panics: a paged read that fails mid-walk has
+// the same character as a SIGBUS on an mmap'd graph — the storage
+// under an open graph went away — and threading an error return
+// through every adjacency access would tax the resident fast path for
+// a case no caller can meaningfully handle.
+type AdjCursor interface {
+	// Out returns logical outAdj[i].
+	Out(i int64) VertexID
+	// OutRange appends logical outAdj[lo:hi] to dst and returns it.
+	OutRange(lo, hi int64, dst []VertexID) []VertexID
+	// InRange appends logical inAdj[lo:hi] to dst and returns it.
+	InRange(lo, hi int64, dst []VertexID) []VertexID
+	// OutPage returns the cache page holding logical outAdj[i] — the
+	// sort key page-aware schedulers batch on.
+	OutPage(i int64) int64
+	// Release unpins the cursor's current page.
+	Release()
+}
+
+// An AdjPager serves a graph's adjacency out of core: cursors for
+// access, stats for observability, Close to release the pool and the
+// underlying file. It is the backing owner of a paged Graph (Close on
+// the graph closes it).
+type AdjPager interface {
+	NewCursor() AdjCursor
+	Stats() PageCacheStats
+	Close() error
+}
+
+// PagedCSR describes a graph whose offsets (and optional permutation)
+// are resident while the adjacency stays behind a pager.
+type PagedCSR struct {
+	NumVertices int
+	NumEdges    int64
+	OutOff      []int64
+	InOff       []int64
+	// Perm, when non-nil, is the external→internal row permutation
+	// (see CSR.Perm).
+	Perm  []VertexID
+	Pager AdjPager
+}
+
+// FromPagedCSR wraps resident offsets plus a pager in a Graph. The
+// offset invariants and the permutation's bijectivity are checked (the
+// adjacency contents cannot be — they are the point of paging; the
+// checksummed formats verify them at open). The pager is closed on
+// error; on success the graph's Close closes it.
+func FromPagedCSR(c PagedCSR) (*Graph, error) {
+	fail := func(err error) (*Graph, error) {
+		if c.Pager != nil {
+			c.Pager.Close()
+		}
+		return nil, err
+	}
+	if c.Pager == nil {
+		return fail(errors.New("graph: paged CSR needs a pager"))
+	}
+	n := c.NumVertices
+	if n < 0 {
+		return fail(errors.New("graph: negative vertex count"))
+	}
+	if len(c.OutOff) != n+1 || len(c.InOff) != n+1 {
+		return fail(fmt.Errorf("graph: offset lengths %d/%d for n=%d", len(c.OutOff), len(c.InOff), n))
+	}
+	if c.OutOff[0] != 0 || c.InOff[0] != 0 {
+		return fail(errors.New("graph: offsets must start at 0"))
+	}
+	for v := 0; v < n; v++ {
+		if c.OutOff[v+1] < c.OutOff[v] || c.InOff[v+1] < c.InOff[v] {
+			return fail(fmt.Errorf("graph: non-monotone offsets at vertex %d", v))
+		}
+	}
+	if c.OutOff[n] != c.NumEdges || c.InOff[n] != c.NumEdges {
+		return fail(fmt.Errorf("graph: offset totals %d/%d for m=%d", c.OutOff[n], c.InOff[n], c.NumEdges))
+	}
+	if err := checkPerm(n, c.Perm); err != nil {
+		return fail(err)
+	}
+	return &Graph{
+		n:       n,
+		m:       c.NumEdges,
+		outOff:  c.OutOff,
+		inOff:   c.InOff,
+		perm:    c.Perm,
+		pager:   c.Pager,
+		backing: c.Pager,
+	}, nil
+}
+
+// checkPerm verifies perm is a bijection on [0,n) (nil is the
+// identity and always fine).
+func checkPerm(n int, perm []VertexID) error {
+	if perm == nil {
+		return nil
+	}
+	if len(perm) != n {
+		return fmt.Errorf("graph: permutation length %d for n=%d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for v, r := range perm {
+		if int(r) >= n {
+			return fmt.Errorf("graph: permutation maps %d to %d, out of range for n=%d", v, r, n)
+		}
+		if seen[r] {
+			return fmt.Errorf("graph: permutation is not a bijection (row %d hit twice)", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// Paged reports whether the graph's adjacency lives behind a pager
+// (reads go through the page cache instead of resident arrays).
+func (g *Graph) Paged() bool { return g.pager != nil }
+
+// PageCacheStats returns the page cache's counters for paged graphs;
+// ok is false (and the stats zero) for resident graphs.
+func (g *Graph) PageCacheStats() (PageCacheStats, bool) {
+	if g.pager == nil {
+		return PageCacheStats{}, false
+	}
+	return g.pager.Stats(), true
+}
+
+// rowOf maps an external vertex id to its internal CSR row.
+func (g *Graph) rowOf(v VertexID) VertexID {
+	if g.perm != nil {
+		return g.perm[v]
+	}
+	return v
+}
+
+// AdjReader is a per-goroutine adjacency handle: on resident graphs
+// its reads are the zero-copy slices OutNeighbors returns; on paged
+// graphs it holds one cursor and one reusable row buffer, so a walk
+// costs no allocation per step. Not safe for concurrent use; Release
+// when done (a no-op on resident graphs).
+type AdjReader struct {
+	g      *Graph
+	cur    AdjCursor
+	outBuf []VertexID
+	inBuf  []VertexID
+}
+
+// NewAdjReader returns a reader over g.
+func (g *Graph) NewAdjReader() *AdjReader {
+	r := &AdjReader{g: g}
+	if g.pager != nil {
+		r.cur = g.pager.NewCursor()
+	}
+	return r
+}
+
+// OutNeighbors returns the successors of v. On paged graphs the slice
+// is the reader's scratch buffer, valid until the next call.
+func (r *AdjReader) OutNeighbors(v VertexID) []VertexID {
+	g := r.g
+	row := g.rowOf(v)
+	lo, hi := g.outOff[row], g.outOff[row+1]
+	if r.cur == nil {
+		return g.outAdj[lo:hi]
+	}
+	r.outBuf = r.cur.OutRange(lo, hi, r.outBuf[:0])
+	return r.outBuf
+}
+
+// InNeighbors returns the predecessors of v, with the same aliasing
+// rules as OutNeighbors.
+func (r *AdjReader) InNeighbors(v VertexID) []VertexID {
+	g := r.g
+	row := g.rowOf(v)
+	lo, hi := g.inOff[row], g.inOff[row+1]
+	if r.cur == nil {
+		return g.inAdj[lo:hi]
+	}
+	r.inBuf = r.cur.InRange(lo, hi, r.inBuf[:0])
+	return r.inBuf
+}
+
+// OutDegree returns v's out-degree (always resident: offsets are never
+// paged).
+func (r *AdjReader) OutDegree(v VertexID) int {
+	row := r.g.rowOf(v)
+	return int(r.g.outOff[row+1] - r.g.outOff[row])
+}
+
+// OutAt returns the i'th successor of v (one element, one page touch
+// on paged graphs — the step primitive random walks want).
+func (r *AdjReader) OutAt(v VertexID, i int) VertexID {
+	g := r.g
+	lo := g.outOff[g.rowOf(v)]
+	if r.cur == nil {
+		return g.outAdj[lo+int64(i)]
+	}
+	return r.cur.Out(lo + int64(i))
+}
+
+// OutPageAt returns the cache page holding the i'th successor of v (0
+// on resident graphs). Page-aware schedulers sort pending accesses by
+// it so random access becomes near-sequential sweeps.
+func (r *AdjReader) OutPageAt(v VertexID, i int) int64 {
+	if r.cur == nil {
+		return 0
+	}
+	return r.cur.OutPage(r.g.outOff[r.g.rowOf(v)] + int64(i))
+}
+
+// Release returns the reader's cursor pin (no-op on resident graphs).
+// The reader stays usable; the next paged read re-pins.
+func (r *AdjReader) Release() {
+	if r.cur != nil {
+		r.cur.Release()
+	}
+}

@@ -1,0 +1,293 @@
+package pcache
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// testFile returns size bytes where byte i == byte(i*7 + i>>8), plus a
+// ReaderAt over them.
+func testFile(size int64) ([]byte, io.ReaderAt) {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*7 + i>>8)
+	}
+	return data, bytes.NewReader(data)
+}
+
+func TestViewContentAndShortLastPage(t *testing.T) {
+	size := int64(2*PageSize + 100)
+	data, src := testFile(size)
+	p := New(src, size, 1<<20)
+	c := p.NewCursor()
+	defer c.Release()
+	for page := int64(0); page < p.NumPages(); page++ {
+		got, err := c.View(page)
+		if err != nil {
+			t.Fatalf("View(%d): %v", page, err)
+		}
+		lo := page * PageSize
+		hi := lo + PageSize
+		if hi > size {
+			hi = size
+		}
+		if !bytes.Equal(got, data[lo:hi]) {
+			t.Fatalf("page %d content mismatch (len %d want %d)", page, len(got), hi-lo)
+		}
+	}
+	if n := p.NumPages(); n != 3 {
+		t.Fatalf("NumPages = %d, want 3", n)
+	}
+	if _, err := c.View(3); err == nil {
+		t.Fatal("View past EOF succeeded")
+	}
+	if _, err := c.View(-1); err == nil {
+		t.Fatal("View(-1) succeeded")
+	}
+}
+
+func TestHitMissCounting(t *testing.T) {
+	size := int64(4 * PageSize)
+	_, src := testFile(size)
+	p := New(src, size, 1<<20)
+	c := p.NewCursor()
+	defer c.Release()
+
+	// First touch of each page: miss. Same-page View: free (no
+	// recount). Re-touch through a second cursor: hit.
+	for page := int64(0); page < 4; page++ {
+		c.View(page)
+		c.View(page)
+	}
+	c2 := p.NewCursor()
+	defer c2.Release()
+	for page := int64(3); page >= 0; page-- {
+		c2.View(page)
+	}
+	s := p.Stats()
+	if s.Misses != 4 || s.Hits != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 4/4", s.Hits, s.Misses)
+	}
+	if s.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", s.Evictions)
+	}
+	if s.ResidentPages != 4 {
+		t.Fatalf("resident = %d, want 4", s.ResidentPages)
+	}
+	if s.PinnedPages != 2 {
+		t.Fatalf("pinned = %d, want 2 (both cursors hold a page)", s.PinnedPages)
+	}
+}
+
+func TestEvictionBoundsResidency(t *testing.T) {
+	// Budget of exactly minFrames pages over a much larger file; sweep
+	// it several times and confirm residency never exceeds the budget
+	// (single cursor: only one page pinned at a time).
+	pages := int64(4 * minFrames)
+	size := pages * PageSize
+	_, src := testFile(size)
+	p := New(src, size, minFrames*PageSize)
+	c := p.NewCursor()
+	defer c.Release()
+	for sweep := 0; sweep < 3; sweep++ {
+		for page := int64(0); page < pages; page++ {
+			if _, err := c.View(page); err != nil {
+				t.Fatal(err)
+			}
+			if s := p.Stats(); s.ResidentPages > s.BudgetPages {
+				t.Fatalf("resident %d exceeds budget %d", s.ResidentPages, s.BudgetPages)
+			}
+		}
+	}
+	s := p.Stats()
+	if s.BudgetPages != minFrames {
+		t.Fatalf("budget = %d pages, want %d", s.BudgetPages, minFrames)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("sweeping 4x the budget evicted nothing")
+	}
+	if s.Misses <= uint64(pages) {
+		t.Fatalf("misses = %d; re-sweeps over an evicting pool should re-miss", s.Misses)
+	}
+}
+
+func TestPinnedOverflowDoesNotDeadlock(t *testing.T) {
+	// More cursors than budget frames, each pinning a distinct page:
+	// the pool must admit overflow frames rather than deadlock, and
+	// drain back under budget once pins release.
+	pages := int64(2 * minFrames)
+	size := pages * PageSize
+	_, src := testFile(size)
+	p := New(src, size, 1) // floored at minFrames
+	cursors := make([]*Cursor, pages)
+	for i := range cursors {
+		cursors[i] = p.NewCursor()
+		if _, err := cursors[i].View(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.PinnedPages != int(pages) {
+		t.Fatalf("pinned = %d, want %d", s.PinnedPages, pages)
+	}
+	if s.ResidentPages < int(pages) {
+		t.Fatalf("resident = %d, want >= %d while all pinned", s.ResidentPages, pages)
+	}
+	for _, c := range cursors {
+		c.Release()
+	}
+	// Releasing the pins drains the overflow without further misses.
+	if s := p.Stats(); s.ResidentPages > s.BudgetPages {
+		t.Fatalf("resident %d still over budget %d after pins released", s.ResidentPages, s.BudgetPages)
+	}
+}
+
+func TestConcurrentCursors(t *testing.T) {
+	// Many goroutines sweep random-ish page orders through a tiny pool
+	// under -race; every byte read must match the file.
+	pages := int64(4 * minFrames)
+	size := pages*PageSize - 123 // short last page
+	data, src := testFile(size)
+	p := New(src, size, minFrames*PageSize)
+	var wg sync.WaitGroup
+	var fails atomic.Int32
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := p.NewCursor()
+			defer c.Release()
+			x := uint64(w + 1)
+			for i := 0; i < 400; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				page := int64(x % uint64(pages))
+				got, err := c.View(page)
+				if err != nil {
+					fails.Add(1)
+					return
+				}
+				lo := page * PageSize
+				off := int(x % uint64(len(got)))
+				if got[off] != data[lo+int64(off)] {
+					fails.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fails.Load() != 0 {
+		t.Fatalf("%d goroutines saw bad reads", fails.Load())
+	}
+	s := p.Stats()
+	if s.PinnedPages != 0 {
+		t.Fatalf("pinned = %d after all cursors released", s.PinnedPages)
+	}
+	if s.ResidentPages > s.BudgetPages {
+		t.Fatalf("resident %d over budget %d at rest", s.ResidentPages, s.BudgetPages)
+	}
+}
+
+// flakyReader fails the first read of every page, then succeeds.
+type flakyReader struct {
+	src    io.ReaderAt
+	mu     sync.Mutex
+	failed map[int64]bool
+}
+
+func (f *flakyReader) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	first := !f.failed[off]
+	f.failed[off] = true
+	f.mu.Unlock()
+	if first {
+		return 0, errors.New("injected read failure")
+	}
+	return f.src.ReadAt(p, off)
+}
+
+func TestReadErrorRetries(t *testing.T) {
+	size := int64(2 * PageSize)
+	data, src := testFile(size)
+	p := New(&flakyReader{src: src, failed: make(map[int64]bool)}, size, 1<<20)
+	c := p.NewCursor()
+	defer c.Release()
+	if _, err := c.View(0); err == nil {
+		t.Fatal("first View succeeded despite injected failure")
+	}
+	got, err := c.View(0)
+	if err != nil {
+		t.Fatalf("retry after injected failure: %v", err)
+	}
+	if !bytes.Equal(got, data[:PageSize]) {
+		t.Fatal("retried page has wrong content")
+	}
+	if s := p.Stats(); s.PinnedPages != 1 {
+		t.Fatalf("pinned = %d, want 1", s.PinnedPages)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	// Cursor views promise an 8-byte-aligned base so element views
+	// (u32/u64) into pages never misalign.
+	size := int64(2*PageSize + 12)
+	_, src := testFile(size)
+	p := New(src, size, 1<<20)
+	c := p.NewCursor()
+	defer c.Release()
+	for page := int64(0); page < p.NumPages(); page++ {
+		b, err := c.View(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr := uintptr(unsafe.Pointer(&b[0])); addr%8 != 0 {
+			t.Fatalf("page %d base %#x not 8-aligned", page, addr)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"1048576", 1 << 20, false},
+		{"64KiB", 64 << 10, false},
+		{"512MiB", 512 << 20, false},
+		{"2GiB", 2 << 30, false},
+		{"2G", 2 << 30, false},
+		{"12m", 12 << 20, false},
+		{"8kb", 8 << 10, false},
+		{" 16 MiB ", 16 << 20, false},
+		{"123B", 123, false},
+		{"", 0, true},
+		{"-1", 0, true},
+		{"-4K", 0, true},
+		{"10TiB", 0, true}, // unknown suffix: "10TI" fails to parse
+		{"1e6", 0, true},
+		{"9999999999G", 0, true}, // overflow
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseBytes(%q) = %d, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

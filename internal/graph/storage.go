@@ -22,6 +22,12 @@ type CSR struct {
 	OutAdj      []VertexID
 	InOff       []int64
 	InAdj       []VertexID
+	// Perm, when non-nil, maps an external vertex id to its internal
+	// CSR row: successors of external v are
+	// OutAdj[OutOff[Perm[v]]:OutOff[Perm[v]+1]], and adjacency values
+	// are external ids. Degree-ordered relabeling (gstore.Relabel)
+	// produces permuted CSRs; nil means rows equal external ids.
+	Perm []VertexID
 }
 
 // NumEdges returns the directed edge count the arrays encode.
@@ -57,7 +63,7 @@ func (c CSR) checkOffsets() error {
 	if len(c.OutAdj) != len(c.InAdj) {
 		return errors.New("graph: out/in edge count mismatch")
 	}
-	return nil
+	return checkPerm(n, c.Perm)
 }
 
 // FromCSR wraps pre-built CSR arrays in a Graph without copying. The
@@ -77,23 +83,31 @@ func FromCSR(c CSR, backing io.Closer) (*Graph, error) {
 	}
 	return &Graph{
 		n:       c.NumVertices,
+		m:       int64(len(c.OutAdj)),
 		outOff:  c.OutOff,
 		outAdj:  c.OutAdj,
 		inOff:   c.InOff,
 		inAdj:   c.InAdj,
+		perm:    c.Perm,
 		backing: backing,
 	}, nil
 }
 
 // CSRView returns the graph's raw arrays. The slices alias internal
-// storage and must not be modified; they are valid until Close.
+// storage and must not be modified; they are valid until Close. Paged
+// graphs have no resident adjacency to view; CSRView panics for them
+// (callers that must handle paged graphs go through AdjReader).
 func (g *Graph) CSRView() CSR {
+	if g.pager != nil {
+		panic("graph: CSRView on a paged graph (adjacency is not resident)")
+	}
 	return CSR{
 		NumVertices: g.n,
 		OutOff:      g.outOff,
 		OutAdj:      g.outAdj,
 		InOff:       g.inOff,
 		InAdj:       g.inAdj,
+		Perm:        g.perm,
 	}
 }
 

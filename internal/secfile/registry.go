@@ -24,6 +24,12 @@ type Info struct {
 	// Fields renders the format's scalar header fields from a full
 	// header (already prelude-validated). Optional.
 	Fields func(hdr []byte) []Field
+	// ResidentPaged, when set (index-aligned with the table), marks
+	// the sections a paged open keeps fully resident — offset arrays
+	// and the like — as opposed to sections served from the page
+	// cache. Inspection tools use it to estimate the paged-open
+	// memory floor. Optional; formats without a paged open omit it.
+	ResidentPaged []bool
 }
 
 var (

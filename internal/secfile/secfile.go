@@ -314,6 +314,33 @@ func (s *Schema) VerifySections(data []byte, secs []Section) error {
 	return nil
 }
 
+// VerifySectionsReaderAt is VerifySections for callers that never
+// materialize the whole file (paged opens): it streams each section
+// through a fixed-size buffer, so verification costs one sequential
+// read of the file and O(1) memory regardless of file size. The
+// sections must come from a Parse whose total covered the file.
+func (s *Schema) VerifySectionsReaderAt(r io.ReaderAt, secs []Section) error {
+	buf := make([]byte, 1<<20)
+	for i, sec := range secs {
+		var crc uint64
+		for off := uint64(0); off < sec.Len; {
+			n := uint64(len(buf))
+			if rest := sec.Len - off; rest < n {
+				n = rest
+			}
+			if _, err := r.ReadAt(buf[:n], int64(sec.Off+off)); err != nil {
+				return s.errFormat("reading section %d: %v", i, err)
+			}
+			crc = crc64.Update(crc, crcTable, buf[:n])
+			off += n
+		}
+		if crc != sec.CRC {
+			return s.errChecksum(i)
+		}
+	}
+	return nil
+}
+
 // OpenMode selects how Open gets the file's bytes.
 type OpenMode int
 

@@ -111,6 +111,26 @@ type ServeStats struct {
 	PPRQueries   uint64 `json:"pprQueries,omitempty"`
 	PPRCacheHits uint64 `json:"pprCacheHits,omitempty"`
 	PPRWalks     uint64 `json:"pprWalks,omitempty"`
+	// PPRWalkSteps counts individual walk steps on paged graphs;
+	// PPRPageLocalSteps of those reused the page the previous step
+	// touched — the batched scheduler's locality win. Both are zero
+	// (and absent) on fully resident graphs.
+	PPRWalkSteps      uint64 `json:"pprWalkSteps,omitempty"`
+	PPRPageLocalSteps uint64 `json:"pprPageLocalSteps,omitempty"`
+}
+
+// PageCacheStats describes the graph page cache of a server running
+// under a -graph-mem budget. Absent (nil) when the graph is fully
+// resident.
+type PageCacheStats struct {
+	PageSize      int64  `json:"pageSize"`
+	BudgetBytes   int64  `json:"budgetBytes"`
+	BudgetPages   int64  `json:"budgetPages"`
+	ResidentPages int64  `json:"residentPages"`
+	PinnedPages   int64  `json:"pinnedPages"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
 }
 
 // StatsResponse is the single-node /v1/stats body.
@@ -123,6 +143,9 @@ type StatsResponse struct {
 	MaxK         int        `json:"maxK"`
 	Graph        GraphStats `json:"graph"`
 	Serving      ServeStats `json:"serving"`
+	// PageCache is set only when the graph is served under a memory
+	// budget (additive, so no Version bump).
+	PageCache *PageCacheStats `json:"pageCache,omitempty"`
 }
 
 // ShardStatus is one shard's row in router health and stats bodies.

@@ -150,6 +150,10 @@ func newPPREngine(opts PPROptions, reg *obs.Registry) *pprEngine {
 		"Responses evicted from the PPR LRU by capacity pressure.", nil, &e.cache.evictions)
 	reg.RegisterCounter("ppr_batches_total",
 		"Combined multi-source walk passes executed by the batcher.", nil, &e.batcher.batches)
+	reg.RegisterCounter("ppr_walk_steps_total",
+		"Individual walk steps executed on paged graphs (restarts included).", nil, &e.batcher.steps)
+	reg.RegisterCounter("ppr_walk_page_local_steps_total",
+		"Paged walk steps whose adjacency read hit the same cache page as the previous step.", nil, &e.batcher.local)
 	e.lat = reg.Latency("ppr_request_seconds",
 		"PPR request handling latency, cache hits included.", nil)
 	return e
@@ -270,6 +274,8 @@ type pprBatcher struct {
 	running bool
 	workers int
 	batches obs.Counter
+	steps   obs.Counter
+	local   obs.Counter
 }
 
 // run schedules walk tasks for every key (joining identical in-flight
@@ -331,7 +337,12 @@ func (b *pprBatcher) drain(opts PPROptions) {
 					if i >= len(batch) {
 						return
 					}
-					batch[i].counts = pprWalkSource(batch[i].snap, batch[i].key, opts)
+					var m pprWalkMetrics
+					batch[i].counts, m = pprWalkSource(batch[i].snap, batch[i].key, opts)
+					if m.steps > 0 {
+						b.steps.Add(m.steps)
+						b.local.Add(m.local)
+					}
 				}
 			}()
 		}
@@ -348,20 +359,36 @@ func (b *pprBatcher) drain(opts PPROptions) {
 	}
 }
 
+// pprWalkMetrics counts a task's walk steps and how many of them hit
+// the same cache page as the step processed just before — the
+// page-locality signal the batched scheduler exists to maximize. Only
+// the paged executor fills it in; resident graphs have no pages to be
+// local to.
+type pprWalkMetrics struct {
+	steps uint64
+	local uint64
+}
+
 // pprWalkSource runs key.walks truncated-geometric walks from
 // key.source over snap's graph and tallies walk endpoints — the
 // endpoint of a geometric-length walk samples the personalized
 // invariant distribution (the paper's Lemma 16 equivalence, restart
 // distribution concentrated on the source). A walk stuck on a
 // dangling vertex restarts at the source, matching ExactPPR's
-// dangling-mass treatment. All randomness comes from one stream
-// derived from (snapshot seed, epoch, source), consumed sequentially:
-// walk w's draws are a pure function of (epoch, source, sequence).
-func pprWalkSource(snap *Snapshot, key pprTaskKey, opts PPROptions) map[graph.VertexID]int32 {
+// dangling-mass treatment. Walk w's randomness is its own stream
+// derived from (snapshot seed, epoch, source, w), consumed in step
+// order: every draw is a pure function of (epoch, source, walk,
+// step), so the tally is bit-identical whether the walks run
+// sequentially (here) or interleaved by the page-batched executor —
+// paging and relabeling can never change a served body.
+func pprWalkSource(snap *Snapshot, key pprTaskKey, opts PPROptions) (map[graph.VertexID]int32, pprWalkMetrics) {
+	if snap.Graph.Paged() {
+		return pprWalkSourcePaged(snap, key, opts)
+	}
 	g := snap.Graph
-	stream := rng.Derive(snap.Seed, pprPurpose, key.epoch, uint64(key.source))
 	counts := make(map[graph.VertexID]int32, min(key.walks, 1024))
 	for w := 0; w < key.walks; w++ {
+		stream := rng.Derive(snap.Seed, pprPurpose, key.epoch, uint64(key.source), uint64(w))
 		steps := stream.Geometric(opts.Teleport)
 		if steps > opts.MaxWalkLen {
 			steps = opts.MaxWalkLen
@@ -377,7 +404,86 @@ func pprWalkSource(snap *Snapshot, key pprTaskKey, opts PPROptions) map[graph.Ve
 		}
 		counts[cur]++
 	}
-	return counts
+	return counts, pprWalkMetrics{}
+}
+
+// pprWalkSourcePaged is pprWalkSource for paged graphs: all the
+// task's walks advance in lockstep rounds, and within a round the
+// pending steps are sorted by the cache page their next adjacency
+// read will touch, so the pool serves near-sequential page sweeps
+// instead of key.walks independent random accesses. Each walk draws
+// from its own stream in step order — the same draws, in the same
+// per-walk order, as the sequential executor — so the tally is
+// bit-identical to the resident path's.
+func pprWalkSourcePaged(snap *Snapshot, key pprTaskKey, opts PPROptions) (map[graph.VertexID]int32, pprWalkMetrics) {
+	r := snap.Graph.NewAdjReader()
+	defer r.Release()
+	counts := make(map[graph.VertexID]int32, min(key.walks, 1024))
+
+	type walker struct {
+		stream *rng.Stream
+		cur    graph.VertexID
+		left   int
+	}
+	active := make([]*walker, 0, key.walks)
+	for w := 0; w < key.walks; w++ {
+		stream := rng.Derive(snap.Seed, pprPurpose, key.epoch, uint64(key.source), uint64(w))
+		steps := stream.Geometric(opts.Teleport)
+		if steps > opts.MaxWalkLen {
+			steps = opts.MaxWalkLen
+		}
+		if steps == 0 {
+			counts[key.source]++
+			continue
+		}
+		active = append(active, &walker{stream: stream, cur: key.source, left: steps})
+	}
+
+	type pending struct {
+		wk   *walker
+		idx  int32
+		page int64
+	}
+	var m pprWalkMetrics
+	batch := make([]pending, 0, len(active))
+	lastPage := int64(-1)
+	for len(active) > 0 {
+		// Draw each walker's next neighbor index now (its own stream,
+		// step order preserved), so the step's exact page is known
+		// before any page is touched.
+		batch = batch[:0]
+		for _, wk := range active {
+			deg := r.OutDegree(wk.cur)
+			if deg == 0 {
+				wk.cur = key.source // dangling restart: a step, no read
+				m.steps++
+				continue
+			}
+			idx := wk.stream.Intn(deg)
+			batch = append(batch, pending{wk: wk, idx: int32(idx), page: r.OutPageAt(wk.cur, idx)})
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i].page < batch[j].page })
+		for _, p := range batch {
+			m.steps++
+			if p.page == lastPage {
+				m.local++
+			} else {
+				lastPage = p.page
+			}
+			p.wk.cur = r.OutAt(p.wk.cur, int(p.idx))
+		}
+		retained := active[:0]
+		for _, wk := range active {
+			wk.left--
+			if wk.left > 0 {
+				retained = append(retained, wk)
+			} else {
+				counts[wk.cur]++
+			}
+		}
+		active = retained
+	}
+	return counts, m
 }
 
 // --- request handling -----------------------------------------------
@@ -553,7 +659,7 @@ func PPRTopK(snap *Snapshot, sources []graph.VertexID, k int, opts PPROptions) (
 	}
 	merged := make(map[graph.VertexID]int32, len(srcs)*8)
 	for _, src := range srcs {
-		counts := pprWalkSource(snap, pprTaskKey{epoch: snap.Epoch, source: src, walks: walksPer}, opts)
+		counts, _ := pprWalkSource(snap, pprTaskKey{epoch: snap.Epoch, source: src, walks: walksPer}, opts)
 		for v, c := range counts {
 			merged[v] += c
 		}

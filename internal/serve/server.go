@@ -133,6 +133,34 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 			}
 			return 0
 		})
+	pageCacheGauge := func(name, help string, pick func(graph.PageCacheStats) float64) {
+		s.reg.GaugeFunc(name, help, nil, func() float64 {
+			if snap := store.Current(); snap != nil {
+				if st, ok := snap.Graph.PageCacheStats(); ok {
+					return pick(st)
+				}
+			}
+			return 0
+		})
+	}
+	pageCacheGauge("graph_page_cache_resident_pages",
+		"Pages of CSR adjacency resident in the page cache (0 when fully resident in RAM).",
+		func(st graph.PageCacheStats) float64 { return float64(st.ResidentPages) })
+	pageCacheGauge("graph_page_cache_pinned_pages",
+		"Resident pages currently pinned by active readers.",
+		func(st graph.PageCacheStats) float64 { return float64(st.PinnedPages) })
+	pageCacheGauge("graph_page_cache_budget_pages",
+		"Page-cache capacity implied by the -graph-mem budget.",
+		func(st graph.PageCacheStats) float64 { return float64(st.BudgetPages) })
+	pageCacheGauge("graph_page_cache_hits_total",
+		"Adjacency page lookups served from a resident page.",
+		func(st graph.PageCacheStats) float64 { return float64(st.Hits) })
+	pageCacheGauge("graph_page_cache_misses_total",
+		"Adjacency page lookups that had to read the page from disk.",
+		func(st graph.PageCacheStats) float64 { return float64(st.Misses) })
+	pageCacheGauge("graph_page_cache_evictions_total",
+		"Pages evicted by the CLOCK sweep to stay under budget.",
+		func(st graph.PageCacheStats) float64 { return float64(st.Evictions) })
 	s.ppr = newPPREngine(opts.PPR, s.reg)
 	s.reqLat = make(map[string]*obs.Latency)
 	mux := http.NewServeMux()
@@ -474,17 +502,32 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // shards reuse it so their RPC stats match the single-node body.
 func (s *Server) StatsBody(snap *Snapshot) api.StatsResponse {
 	serving := api.ServeStats{
-		Queries:          s.queries.Value(),
-		TopKCacheHits:    s.cacheHits.Value(),
-		CompareCacheHits: s.compareHits.Value(),
-		Coalesced:        s.coalesced.Value(),
-		PPRQueries:       s.ppr.queries.Value(),
-		PPRCacheHits:     s.ppr.cacheHits.Value(),
-		PPRWalks:         s.ppr.walks.Value(),
+		Queries:           s.queries.Value(),
+		TopKCacheHits:     s.cacheHits.Value(),
+		CompareCacheHits:  s.compareHits.Value(),
+		Coalesced:         s.coalesced.Value(),
+		PPRQueries:        s.ppr.queries.Value(),
+		PPRCacheHits:      s.ppr.cacheHits.Value(),
+		PPRWalks:          s.ppr.walks.Value(),
+		PPRWalkSteps:      s.ppr.batcher.steps.Value(),
+		PPRPageLocalSteps: s.ppr.batcher.local.Value(),
 	}
 	if ref := s.opts.Refresher; ref != nil {
 		serving.Refreshes = ref.Refreshes()
 		serving.BuildErrors = ref.Errors()
+	}
+	var pc *api.PageCacheStats
+	if st, ok := snap.Graph.PageCacheStats(); ok {
+		pc = &api.PageCacheStats{
+			PageSize:      int64(st.PageSize),
+			BudgetBytes:   st.BudgetBytes,
+			BudgetPages:   int64(st.BudgetPages),
+			ResidentPages: int64(st.ResidentPages),
+			PinnedPages:   int64(st.PinnedPages),
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Evictions:     st.Evictions,
+		}
 	}
 	return api.StatsResponse{
 		Epoch:        snap.Epoch,
@@ -502,7 +545,8 @@ func (s *Server) StatsBody(snap *Snapshot) api.StatsResponse {
 			MeanDeg:   snap.Stats.MeanDeg,
 			GiniOut:   snap.Stats.GiniOut,
 		},
-		Serving: serving,
+		Serving:   serving,
+		PageCache: pc,
 	}
 }
 

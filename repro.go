@@ -51,6 +51,7 @@ import (
 	"repro/internal/graph/gen"
 	"repro/internal/graph/gio"
 	"repro/internal/graph/gstore"
+	"repro/internal/graph/pcache"
 	"repro/internal/loadgen"
 	"repro/internal/montecarlo"
 	"repro/internal/pagerank"
@@ -123,6 +124,30 @@ func LoadGraph(path string) (*Graph, error) {
 	return gio.Load(path, gio.EdgeListOptions{Dangling: graph.DanglingSelfLoop})
 }
 
+// LoadGraphPaged is LoadGraph with a resident-memory budget: the file
+// must be an uncompressed gstore CSR file, whose adjacency is then
+// served through a bounded page cache of roughly memBytes (the
+// bigger-than-RAM path; see ParseByteSize for the CLIs' flag syntax).
+// Formats that cannot bound residency are an error under a budget.
+func LoadGraphPaged(path string, memBytes int64) (*Graph, error) {
+	return gio.LoadWith(path, gio.LoadOptions{
+		EdgeList: gio.EdgeListOptions{Dangling: graph.DanglingSelfLoop},
+		Mem:      memBytes,
+	})
+}
+
+// RelabelGraph returns a logically identical copy of g whose CSR rows
+// are degree-ordered (hot vertices first) with the external→row
+// permutation attached, so a paged open of the saved file packs hot
+// adjacency onto few pages. External vertex ids are unchanged
+// everywhere. Saving the result writes the FWGSTOR2 layout.
+func RelabelGraph(g *Graph) (*Graph, error) { return gstore.Relabel(g) }
+
+// ParseByteSize parses a human byte size ("512MiB", "2G", "1048576");
+// it is the parser behind the CLIs' -graph-mem and -target-bytes
+// flags. K/M/G suffixes are binary units with or without the iB.
+func ParseByteSize(s string) (int64, error) { return pcache.ParseBytes(s) }
+
 // SaveGraph writes a graph as edge-list text (gzipped when the path
 // ends in .gz).
 func SaveGraph(path string, g *Graph) error { return gio.SaveEdgeList(path, g) }
@@ -164,6 +189,18 @@ func CachedGraph(cachePath string, build func() (*Graph, error)) (*Graph, error)
 // stale cache.
 func CachedGraphChecked(cachePath string, genN int, build func() (*Graph, error)) (*Graph, error) {
 	return gio.OpenCachedChecked(cachePath, genN, build)
+}
+
+// GraphCacheOptions tunes CachedGraphCheckedWith: a paged-open memory
+// budget and build-time degree relabeling.
+type GraphCacheOptions = gio.CacheOptions
+
+// CachedGraphCheckedWith is CachedGraphChecked with the
+// bigger-than-RAM knobs: opts.Mem opens the cache paged under a
+// resident budget, opts.Relabel degree-orders the graph when the
+// cache is (re)built. A budget without a cache file is an error.
+func CachedGraphCheckedWith(cachePath string, opts GraphCacheOptions, genN int, build func() (*Graph, error)) (*Graph, error) {
+	return gio.OpenCachedCheckedWith(cachePath, opts, genN, build)
 }
 
 // PageRankOptions configures the exact solver. Its Workers field
